@@ -1,0 +1,79 @@
+// Ablation A3: the termination-criterion trade-off of Algorithm 2
+// (Section 5 notes strict convergence vs a threshold vs a fixed number of
+// iterations are all valid). Reports, per iteration budget, the residual
+// marginal gap and the count-query error of RR-Ind + RR-Adj on Adult.
+//
+// Usage: ablation_adjustment [--runs=15] [--p=0.7] [--sigma=0.1]
+//                            [--seed=1] [--n=32561]
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "mdrr/common/flags.h"
+#include "mdrr/core/adjustment.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/eval/experiment.h"
+#include "mdrr/rng/rng.h"
+
+int main(int argc, char** argv) {
+  mdrr::FlagSet flags;
+  flags.Parse(argc, argv);
+  mdrr::Dataset adult = mdrr::bench::LoadAdult(flags);
+  const int runs = mdrr::bench::RunsFlag(flags, 15);
+  const double p = flags.GetDouble("p", 0.7);
+  const double sigma = flags.GetDouble("sigma", 0.1);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  mdrr::bench::PrintHeader(
+      "Ablation: RR-Adjustment iteration budget (Algorithm 2 termination)");
+  std::printf("# n = %zu, p = %.1f, sigma = %.1f, %d runs per row\n",
+              adult.num_rows(), p, sigma, runs);
+
+  // Residual marginal gap on one fixed protocol execution.
+  mdrr::Rng rng(seed);
+  auto rr = mdrr::RunRrIndependent(adult, mdrr::RrIndependentOptions{p}, rng);
+  if (!rr.ok()) {
+    std::fprintf(stderr, "protocol failed: %s\n",
+                 rr.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<mdrr::AdjustmentGroup> groups =
+      mdrr::GroupsFromIndependent(*rr);
+
+  std::printf("%8s  %14s  %12s  %10s\n", "iters", "marginal gap",
+              "rel error", "converged");
+  for (int iters : {1, 2, 5, 10, 20, 50, 100}) {
+    mdrr::AdjustmentOptions options;
+    options.max_iterations = iters;
+    options.tolerance = 1e-12;
+    auto adjustment =
+        mdrr::RunRrAdjustment(groups, adult.num_rows(), options);
+    if (!adjustment.ok()) {
+      std::fprintf(stderr, "adjustment failed: %s\n",
+                   adjustment.status().ToString().c_str());
+      return 1;
+    }
+
+    mdrr::eval::ExperimentConfig config;
+    config.method = mdrr::eval::Method::kRrIndependentAdjusted;
+    config.keep_probability = p;
+    config.adjustment.max_iterations = iters;
+    config.sigma = sigma;
+    config.runs = runs;
+    config.seed = seed;
+    auto experiment = RunCountQueryExperiment(adult, config);
+    if (!experiment.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   experiment.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d  %14.3e  %12.4f  %10s\n", iters,
+                adjustment.value().max_marginal_gap,
+                experiment.value().median_relative_error,
+                adjustment.value().converged ? "yes" : "no");
+  }
+  std::printf(
+      "# shape check: the marginal gap collapses within a few sweeps;\n"
+      "# query error saturates long before strict convergence\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation A2: the cost of the Eq. (2) estimator with the structured O(r)
+// closed-form inverse versus generic LU factorization -- the computational
+// claim of Sections 3.1/4 (structured inversion in O(|A|^2) or better vs
+// O(|A|^2.807) Strassen / O(r^3) LU).
+//
+// google-benchmark binary; run with --benchmark_filter=... as usual.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/linalg/lu.h"
+#include "mdrr/rng/rng.h"
+
+namespace {
+
+std::vector<double> MakeLambda(size_t r) {
+  mdrr::Rng rng(r);
+  std::vector<double> lambda(r);
+  double total = 0.0;
+  for (double& x : lambda) {
+    x = rng.UniformDouble() + 0.01;
+    total += x;
+  }
+  for (double& x : lambda) x /= total;
+  return lambda;
+}
+
+void BM_StructuredSolveTranspose(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  mdrr::RrMatrix matrix = mdrr::RrMatrix::KeepUniform(r, 0.7);
+  std::vector<double> lambda = MakeLambda(r);
+  for (auto _ : state) {
+    auto result = matrix.SolveTranspose(lambda);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(r));
+}
+BENCHMARK(BM_StructuredSolveTranspose)
+    ->RangeMultiplier(4)
+    ->Range(8, 2048)
+    ->Complexity(benchmark::oN);
+
+void BM_LuSolveTranspose(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  mdrr::linalg::Matrix dense =
+      mdrr::RrMatrix::KeepUniform(r, 0.7).ToDense().Transpose();
+  std::vector<double> lambda = MakeLambda(r);
+  for (auto _ : state) {
+    auto result = mdrr::linalg::SolveLinearSystem(dense, lambda);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(r));
+}
+BENCHMARK(BM_LuSolveTranspose)
+    ->RangeMultiplier(4)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_LuFullInverse(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  mdrr::linalg::Matrix dense = mdrr::RrMatrix::KeepUniform(r, 0.7).ToDense();
+  for (auto _ : state) {
+    auto result = mdrr::linalg::Invert(dense);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(r));
+}
+BENCHMARK(BM_LuFullInverse)->RangeMultiplier(4)->Range(8, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Microbenchmarks of the hot paths every experiment exercises:
+// randomization throughput (structured and alias-table), domain
+// composition, empirical distributions, and the full RR-Independent
+// protocol on Adult-sized data.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/dataset/adult.h"
+#include "mdrr/dataset/domain.h"
+#include "mdrr/rng/alias_sampler.h"
+#include "mdrr/rng/rng.h"
+
+namespace {
+
+void BM_StructuredRandomizeColumn(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  mdrr::RrMatrix matrix = mdrr::RrMatrix::KeepUniform(r, 0.7);
+  mdrr::Rng rng(1);
+  std::vector<uint32_t> codes(32561);
+  for (auto& c : codes) c = static_cast<uint32_t>(rng.UniformInt(r));
+  for (auto _ : state) {
+    auto result = matrix.RandomizeColumn(codes, rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(codes.size()));
+}
+BENCHMARK(BM_StructuredRandomizeColumn)->Arg(2)->Arg(16)->Arg(300);
+
+void BM_AliasSample(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  mdrr::Rng rng(2);
+  std::vector<double> weights(r);
+  for (double& w : weights) w = rng.UniformDouble() + 0.01;
+  mdrr::AliasSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(16)->Arg(300)->Arg(4096);
+
+void BM_DomainCompose(benchmark::State& state) {
+  mdrr::Dataset adult = mdrr::SynthesizeAdult(32561, 3);
+  std::vector<size_t> attrs = {mdrr::kAdultMaritalStatus,
+                               mdrr::kAdultRelationship, mdrr::kAdultSex};
+  mdrr::Domain domain = mdrr::Domain::ForAttributes(adult, attrs);
+  for (auto _ : state) {
+    auto composite = domain.ComposeColumns(adult, attrs);
+    benchmark::DoNotOptimize(composite);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32561);
+}
+BENCHMARK(BM_DomainCompose);
+
+void BM_EmpiricalDistribution(benchmark::State& state) {
+  mdrr::Rng rng(5);
+  std::vector<uint32_t> codes(32561);
+  for (auto& c : codes) c = static_cast<uint32_t>(rng.UniformInt(300));
+  for (auto _ : state) {
+    auto dist = mdrr::EmpiricalDistribution(codes, 300);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_EmpiricalDistribution);
+
+void BM_FullRrIndependentOnAdult(benchmark::State& state) {
+  mdrr::Dataset adult = mdrr::SynthesizeAdult(32561, 7);
+  mdrr::Rng rng(11);
+  for (auto _ : state) {
+    auto result =
+        mdrr::RunRrIndependent(adult, mdrr::RrIndependentOptions{0.7}, rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullRrIndependentOnAdult);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Privacy-preserving dependence discovery: the three methods of Sections
+// 4.1-4.3 side by side on the same survey, with their accuracy, privacy
+// and communication trade-offs, and the attribute clustering each one
+// induces. This is the decision an RR-Clusters deployment has to make
+// before anyone publishes data.
+//
+// Build & run:  ./build/examples/dependence_discovery
+
+#include <cmath>
+#include <cstdio>
+
+#include "mdrr/core/clustering.h"
+#include "mdrr/core/dependence_estimators.h"
+#include "mdrr/dataset/adult.h"
+
+namespace {
+
+void Report(const char* name, const mdrr::Dataset& survey,
+            const mdrr::DependenceEstimate& estimate,
+            const mdrr::linalg::Matrix& oracle) {
+  double max_dev = 0.0;
+  for (size_t i = 0; i < estimate.dependences.rows(); ++i) {
+    for (size_t j = 0; j < estimate.dependences.cols(); ++j) {
+      max_dev = std::max(max_dev, std::fabs(estimate.dependences(i, j) -
+                                            oracle(i, j)));
+    }
+  }
+  auto clusters = mdrr::ClusterAttributes(survey, estimate.dependences,
+                                          mdrr::ClusteringOptions{50.0, 0.1});
+  std::printf("\n%s\n", name);
+  std::printf("  max deviation from oracle: %.4f\n", max_dev);
+  if (std::isinf(estimate.epsilon)) {
+    std::printf("  privacy: NOT differentially private (exact values)\n");
+  } else {
+    std::printf("  privacy: eps = %.3f\n", estimate.epsilon);
+  }
+  std::printf("  messages exchanged: %llu\n",
+              static_cast<unsigned long long>(estimate.messages));
+  if (clusters.ok()) {
+    std::printf("  induced clustering (Tv=50, Td=0.1): %s\n",
+                mdrr::ClusteringToString(survey, clusters.value()).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A moderate survey so the literal secure-sum protocol stays quick.
+  mdrr::Dataset survey = mdrr::SynthesizeAdult(2000, 11);
+  std::printf("survey: %zu respondents x %zu attributes\n",
+              survey.num_rows(), survey.num_attributes());
+
+  mdrr::DependenceEstimate oracle = mdrr::OracleDependences(survey);
+  Report("baseline: trusted party (oracle)", survey, oracle,
+         oracle.dependences);
+
+  Report("Section 4.1: RR on each attribute", survey,
+         mdrr::RandomizedResponseDependences(survey, 0.8, 101),
+         oracle.dependences);
+
+  auto secure = mdrr::SecureSumDependences(
+      survey, mdrr::mpc::SimulationMode::kFastSimulation, 103);
+  if (secure.ok()) {
+    Report("Section 4.2: exact bivariate distributions via secure sum",
+           survey, secure.value(), oracle.dependences);
+  }
+
+  auto pairwise = mdrr::PairwiseRrDependences(
+      survey, 0.8, mdrr::mpc::SimulationMode::kFastSimulation, 107);
+  if (pairwise.ok()) {
+    Report("Section 4.3: RR on each attribute pair + secure sum", survey,
+           pairwise.value(), oracle.dependences);
+  }
+
+  std::printf(
+      "\nreading guide: 4.2 is exact but leaks exact distributions; 4.1 is\n"
+      "cheapest and differentially private but attenuates dependences\n"
+      "(Corollary 1 preserves their ranking); 4.3 buys a finite epsilon\n"
+      "with secure-sum communication.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the classic single-question randomized response survey.
+//
+// A controller asks n respondents a sensitive yes/no question. Each
+// respondent flips her answer through a KeepUniform RR matrix before
+// reporting; the controller recovers an unbiased estimate of the true
+// "yes" rate with Eq. (2) and reads off the differential-privacy level.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/privacy.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/rng/rng.h"
+
+int main() {
+  const size_t n = 20000;
+  const double true_yes_rate = 0.13;  // What the controller cannot see.
+  const double keep_probability = 0.5;
+
+  // 1. Each respondent randomizes her answer locally.
+  //    KeepUniform(2, 0.5): report the truth w.p. 0.5 + 0.25, lie w.p 0.25.
+  mdrr::RrMatrix matrix = mdrr::RrMatrix::KeepUniform(2, keep_probability);
+  mdrr::Rng rng(7);
+  std::vector<uint32_t> reported;
+  reported.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t truth = rng.Bernoulli(true_yes_rate) ? 1 : 0;
+    reported.push_back(matrix.Randomize(truth, rng));
+  }
+
+  // 2. The controller sees only `reported` and estimates the true rate.
+  std::vector<double> lambda = mdrr::EmpiricalDistribution(reported, 2);
+  auto estimate = mdrr::EstimateProjectedDistribution(matrix, lambda);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "estimation failed: %s\n",
+                 estimate.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("respondents:              %zu\n", n);
+  std::printf("observed 'yes' rate:      %.4f  (biased by randomization)\n",
+              lambda[1]);
+  std::printf("estimated true rate:      %.4f\n", estimate.value()[1]);
+  std::printf("actual true rate:         %.4f  (for reference only)\n",
+              true_yes_rate);
+  std::printf("differential privacy:     eps = %.3f per respondent\n",
+              matrix.Epsilon());
+  std::printf("error-propagation bound:  Pmax/Pmin = %.3f (Section 2.3)\n",
+              matrix.ConditionNumber());
+  return 0;
+}

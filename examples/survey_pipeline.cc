@@ -1,0 +1,97 @@
+// A full multi-attribute local-anonymization pipeline on Adult-style
+// microdata -- the workload the paper's introduction motivates:
+//
+//   1. n individuals each hold one 8-attribute record;
+//   2. attribute dependences are assessed (here: Section 4.1, per-
+//      attribute RR) and attributes are clustered (Algorithm 1);
+//   3. each individual publishes cluster-wise randomized responses
+//      (RR-Joint per cluster at the Section 6.3.2 calibration);
+//   4. the controller estimates cluster joints with Eq. (2), repairs
+//      cross-cluster structure with RR-Adjustment (Algorithm 2), and
+//      answers count queries;
+//   5. the total privacy cost is reported by sequential composition.
+//
+// Build & run:  ./build/examples/survey_pipeline
+
+#include <cstdio>
+
+#include "mdrr/core/adjustment.h"
+#include "mdrr/core/privacy.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/dataset/adult.h"
+#include "mdrr/eval/metrics.h"
+#include "mdrr/rng/rng.h"
+
+int main() {
+  // The true microdata, held in shards of one record per individual.
+  mdrr::Dataset survey = mdrr::SynthesizeAdult(32561, 42);
+  std::printf("survey: %zu respondents x %zu attributes\n",
+              survey.num_rows(), survey.num_attributes());
+
+  // Steps 2-3: dependence assessment + clustering + cluster-wise RR.
+  mdrr::RrClustersOptions options;
+  options.keep_probability = 0.7;
+  options.clustering = mdrr::ClusteringOptions{50.0, 0.1};
+  options.dependence_source = mdrr::DependenceSource::kRandomizedResponse;
+  options.dependence_keep_probability = 0.7;
+
+  mdrr::Rng rng(2024);
+  auto protocol = mdrr::RunRrClusters(survey, options, rng);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "protocol failed: %s\n",
+                 protocol.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("clusters: %s\n",
+              mdrr::ClusteringToString(survey, protocol.value().clusters)
+                  .c_str());
+
+  // Step 4: adjusted weights over the randomized records.
+  auto adjusted = mdrr::MakeAdjustedEstimate(*protocol);
+  if (!adjusted.ok()) {
+    std::fprintf(stderr, "adjustment failed: %s\n",
+                 adjusted.status().ToString().c_str());
+    return 1;
+  }
+
+  // Answer a few analyst queries and compare with the (secret) truth.
+  struct NamedQuery {
+    const char* description;
+    mdrr::CountQuery query;
+  };
+  const uint32_t married = 0;   // Married-civ-spouse.
+  const uint32_t husband = 2;   // Relationship = Husband.
+  const uint32_t high_income = 1;
+  std::vector<NamedQuery> queries = {
+      {"married husbands",
+       {{mdrr::kAdultMaritalStatus, mdrr::kAdultRelationship},
+        {{married, husband}}}},
+      {"high-income married",
+       {{mdrr::kAdultMaritalStatus, mdrr::kAdultIncome},
+        {{married, high_income}}}},
+      {"female + high income",
+       {{mdrr::kAdultSex, mdrr::kAdultIncome}, {{0, high_income}}}},
+  };
+
+  mdrr::EmpiricalCounts truth(survey);
+  std::printf("\n%-24s %10s %12s %10s\n", "query", "true", "estimated",
+              "rel err");
+  for (const NamedQuery& nq : queries) {
+    double t = truth.EstimateCount(nq.query);
+    double e = adjusted.value().EstimateCount(nq.query);
+    std::printf("%-24s %10.0f %12.1f %10.4f\n", nq.description, t, e,
+                mdrr::eval::RelativeError(e, t));
+  }
+
+  // Step 5: privacy ledger.
+  mdrr::PrivacyAccountant accountant;
+  accountant.Spend("dependence assessment (Sec 4.1)",
+                   protocol.value().dependence_epsilon);
+  accountant.Spend("cluster-wise RR release",
+                   protocol.value().release_epsilon);
+  std::printf("\nprivacy ledger:\n%s", accountant.Report().c_str());
+  std::printf(
+      "note: RR-Adjustment post-processes the randomized data only, so it\n"
+      "adds no privacy cost (Section 5).\n");
+  return 0;
+}

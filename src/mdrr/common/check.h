@@ -1,0 +1,39 @@
+// Invariant-checking macros for programmer errors.
+//
+// MDRR_CHECK fires in all build types; failures print the condition and
+// location to stderr and abort. Use Status (status.h) for errors caused by
+// user input; use these macros for conditions that can only be false when
+// the library itself has a bug.
+
+#ifndef MDRR_COMMON_CHECK_H_
+#define MDRR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdrr::internal {
+
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "MDRR_CHECK failed: %s at %s:%d\n", condition, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mdrr::internal
+
+#define MDRR_CHECK(condition)                                          \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::mdrr::internal::CheckFailed(#condition, __FILE__, __LINE__);   \
+    }                                                                  \
+  } while (false)
+
+#define MDRR_CHECK_EQ(a, b) MDRR_CHECK((a) == (b))
+#define MDRR_CHECK_NE(a, b) MDRR_CHECK((a) != (b))
+#define MDRR_CHECK_LT(a, b) MDRR_CHECK((a) < (b))
+#define MDRR_CHECK_LE(a, b) MDRR_CHECK((a) <= (b))
+#define MDRR_CHECK_GT(a, b) MDRR_CHECK((a) > (b))
+#define MDRR_CHECK_GE(a, b) MDRR_CHECK((a) >= (b))
+
+#endif  // MDRR_COMMON_CHECK_H_

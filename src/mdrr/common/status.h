@@ -1,0 +1,99 @@
+// Exception-free error handling for the mdrr library.
+//
+// Library functions that can fail return a Status (or a StatusOr<T>, see
+// status_or.h). Programmer errors (violated preconditions that indicate a
+// bug rather than bad input) use the MDRR_CHECK macros from check.h instead.
+//
+// Example:
+//   Status s = dataset.Validate();
+//   if (!s.ok()) return s;
+
+#ifndef MDRR_COMMON_STATUS_H_
+#define MDRR_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mdrr {
+
+// Broad error categories, modeled on the usual database-library taxonomy.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// Value type carrying a StatusCode plus a context message. Ok statuses are
+// cheap (no allocation). Copyable and movable.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace mdrr
+
+// Propagates a non-OK status to the caller.
+#define MDRR_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::mdrr::Status _mdrr_status = (expr);           \
+    if (!_mdrr_status.ok()) return _mdrr_status;    \
+  } while (false)
+
+#endif  // MDRR_COMMON_STATUS_H_

@@ -1,0 +1,74 @@
+// StatusOr<T>: either a value of type T or a non-OK Status.
+//
+// Example:
+//   StatusOr<Dataset> ds = LoadAdultCsv(path);
+//   if (!ds.ok()) return ds.status();
+//   Use(ds.value());
+
+#ifndef MDRR_COMMON_STATUS_OR_H_
+#define MDRR_COMMON_STATUS_OR_H_
+
+#include <optional>
+#include <utility>
+
+#include "mdrr/common/check.h"
+#include "mdrr/common/status.h"
+
+namespace mdrr {
+
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from a value or a (non-OK) status keeps call
+  // sites readable: `return result;` / `return Status::InvalidArgument(..)`.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    MDRR_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& {
+    MDRR_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    MDRR_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    MDRR_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mdrr
+
+// Evaluates `rexpr` (a StatusOr<T>), propagating a non-OK status to the
+// caller; otherwise declares `lhs` bound to the moved-out value.
+#define MDRR_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  MDRR_ASSIGN_OR_RETURN_IMPL_(                                     \
+      MDRR_STATUS_MACRO_CONCAT_(_mdrr_statusor, __LINE__), lhs, rexpr)
+
+#define MDRR_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define MDRR_STATUS_MACRO_CONCAT_(x, y) MDRR_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#define MDRR_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) return statusor.status();           \
+  lhs = std::move(statusor).value()
+
+#endif  // MDRR_COMMON_STATUS_OR_H_

@@ -1,0 +1,85 @@
+#include "mdrr/common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace mdrr {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> result;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      result.emplace_back(input.substr(start));
+      break;
+    }
+    result.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return result;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(separator);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view input) {
+  std::string_view stripped = StripWhitespace(input);
+  if (stripped.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  int64_t value = 0;
+  const char* begin = stripped.data();
+  const char* end = begin + stripped.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("cannot parse integer: '" +
+                                   std::string(input) + "'");
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(std::string_view input) {
+  std::string_view stripped = StripWhitespace(input);
+  if (stripped.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  // std::from_chars for double is incomplete on some toolchains; use strtod
+  // on a NUL-terminated copy for portability.
+  std::string buffer(stripped);
+  char* parse_end = nullptr;
+  double value = std::strtod(buffer.c_str(), &parse_end);
+  if (parse_end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("cannot parse double: '" +
+                                   std::string(input) + "'");
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace mdrr

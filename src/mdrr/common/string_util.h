@@ -1,0 +1,33 @@
+// Small string helpers used across the library (no external dependencies).
+
+#ifndef MDRR_COMMON_STRING_UTIL_H_
+#define MDRR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+
+namespace mdrr {
+
+// Splits `input` on `delimiter`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+// Joins `parts` with `separator` in between.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Strict numeric parsing: the whole (stripped) string must be consumed.
+StatusOr<int64_t> ParseInt64(std::string_view input);
+StatusOr<double> ParseDouble(std::string_view input);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace mdrr
+
+#endif  // MDRR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,132 @@
+#include "mdrr/core/adjustment.h"
+
+#include <cmath>
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+StatusOr<AdjustmentResult> RunRrAdjustment(
+    const std::vector<AdjustmentGroup>& groups, size_t num_records,
+    const AdjustmentOptions& options) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("adjustment needs at least one group");
+  }
+  if (num_records == 0) {
+    return Status::InvalidArgument("adjustment needs at least one record");
+  }
+  for (const AdjustmentGroup& group : groups) {
+    if (group.codes.size() != num_records) {
+      return Status::InvalidArgument("group code vector size mismatch");
+    }
+    double total = 0.0;
+    for (double t : group.target) {
+      if (t < 0.0) {
+        return Status::InvalidArgument("target distribution has negatives");
+      }
+      total += t;
+    }
+    if (std::fabs(total - 1.0) > 1e-6) {
+      return Status::InvalidArgument("target distribution does not sum to 1");
+    }
+    for (uint32_t code : group.codes) {
+      if (code >= group.target.size()) {
+        return Status::InvalidArgument("group code out of target range");
+      }
+    }
+  }
+
+  AdjustmentResult result;
+  result.weights.assign(num_records, 1.0 / static_cast<double>(num_records));
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // One sweep of Adjust_weights over every group (Algorithm 2 lines
+    // 6-7): rescale weights so the group's implied marginal matches its
+    // target.
+    for (const AdjustmentGroup& group : groups) {
+      std::vector<double> implied(group.target.size(), 0.0);
+      for (size_t i = 0; i < num_records; ++i) {
+        implied[group.codes[i]] += result.weights[i];
+      }
+      // w_i *= target(v) / s_v for v = the record's category. Categories
+      // with zero implied mass cannot be repaired by reweighting; their
+      // target mass is unreachable and shows up in max_marginal_gap.
+      std::vector<double> ratio(group.target.size(), 1.0);
+      for (size_t v = 0; v < ratio.size(); ++v) {
+        if (implied[v] > 0.0) ratio[v] = group.target[v] / implied[v];
+      }
+      for (size_t i = 0; i < num_records; ++i) {
+        result.weights[i] *= ratio[group.codes[i]];
+      }
+      // Renormalize: unreachable target mass would otherwise shrink the
+      // total below 1.
+      double total = 0.0;
+      for (double w : result.weights) total += w;
+      MDRR_CHECK_GT(total, 0.0);
+      for (double& w : result.weights) w /= total;
+    }
+    result.iterations = iter + 1;
+
+    // Convergence test: largest marginal gap across all groups.
+    double max_gap = 0.0;
+    for (const AdjustmentGroup& group : groups) {
+      std::vector<double> implied(group.target.size(), 0.0);
+      for (size_t i = 0; i < num_records; ++i) {
+        implied[group.codes[i]] += result.weights[i];
+      }
+      for (size_t v = 0; v < implied.size(); ++v) {
+        max_gap = std::max(max_gap, std::fabs(implied[v] - group.target[v]));
+      }
+    }
+    result.max_marginal_gap = max_gap;
+    if (max_gap < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<AdjustmentGroup> GroupsFromIndependent(
+    const RrIndependentResult& result) {
+  std::vector<AdjustmentGroup> groups;
+  groups.reserve(result.randomized.num_attributes());
+  for (size_t j = 0; j < result.randomized.num_attributes(); ++j) {
+    groups.push_back(
+        AdjustmentGroup{result.randomized.column(j), result.estimated[j]});
+  }
+  return groups;
+}
+
+std::vector<AdjustmentGroup> GroupsFromClusters(
+    const RrClustersResult& result) {
+  std::vector<AdjustmentGroup> groups;
+  groups.reserve(result.cluster_results.size());
+  for (const RrJointResult& joint : result.cluster_results) {
+    groups.push_back(
+        AdjustmentGroup{joint.randomized_codes, joint.estimated});
+  }
+  return groups;
+}
+
+StatusOr<WeightedRecordsEstimate> MakeAdjustedEstimate(
+    const RrIndependentResult& result, const AdjustmentOptions& options) {
+  MDRR_ASSIGN_OR_RETURN(
+      AdjustmentResult adjustment,
+      RunRrAdjustment(GroupsFromIndependent(result),
+                      result.randomized.num_rows(), options));
+  return WeightedRecordsEstimate(result.randomized,
+                                 std::move(adjustment.weights));
+}
+
+StatusOr<WeightedRecordsEstimate> MakeAdjustedEstimate(
+    const RrClustersResult& result, const AdjustmentOptions& options) {
+  MDRR_ASSIGN_OR_RETURN(
+      AdjustmentResult adjustment,
+      RunRrAdjustment(GroupsFromClusters(result),
+                      result.randomized.num_rows(), options));
+  return WeightedRecordsEstimate(result.randomized,
+                                 std::move(adjustment.weights));
+}
+
+}  // namespace mdrr

@@ -1,0 +1,65 @@
+// Algorithm 2 (RR-Adjustment, Section 5): iterative proportional fitting
+// of record weights on the randomized data set Y so that its implied
+// marginals match the Eq. (2) estimates. Works identically for single
+// attributes (after RR-Independent) and attribute clusters (after
+// RR-Clusters): a group is "one attribute" in the algorithm's sense.
+
+#ifndef MDRR_CORE_ADJUSTMENT_H_
+#define MDRR_CORE_ADJUSTMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/rr_independent.h"
+
+namespace mdrr {
+
+// One marginal constraint: per-record codes over the group's domain and
+// the target distribution those codes' weighted marginal must match.
+struct AdjustmentGroup {
+  std::vector<uint32_t> codes;
+  std::vector<double> target;
+};
+
+struct AdjustmentOptions {
+  int max_iterations = 100;
+  // Converged when the largest absolute gap between an implied marginal
+  // entry and its target falls below this.
+  double tolerance = 1e-9;
+};
+
+struct AdjustmentResult {
+  // Per-record weights, summing to 1 (the probabilities of Algorithm 2).
+  std::vector<double> weights;
+  int iterations = 0;
+  bool converged = false;
+  // Largest |implied - target| marginal entry at termination.
+  double max_marginal_gap = 0.0;
+};
+
+// Runs Algorithm 2 over the given groups. Fails if groups are empty,
+// sizes are inconsistent, a target is not a distribution, or a code is
+// out of range of its target.
+StatusOr<AdjustmentResult> RunRrAdjustment(
+    const std::vector<AdjustmentGroup>& groups, size_t num_records,
+    const AdjustmentOptions& options = {});
+
+// Group builders for the two protocols. Each group's target is the
+// protocol's projected Eq. (2) estimate.
+std::vector<AdjustmentGroup> GroupsFromIndependent(
+    const RrIndependentResult& result);
+std::vector<AdjustmentGroup> GroupsFromClusters(
+    const RrClustersResult& result);
+
+// Convenience: adjusted-weights estimator over the protocol's randomized
+// data (the WeightedRecordsEstimate of joint_estimate.h).
+StatusOr<WeightedRecordsEstimate> MakeAdjustedEstimate(
+    const RrIndependentResult& result, const AdjustmentOptions& options = {});
+StatusOr<WeightedRecordsEstimate> MakeAdjustedEstimate(
+    const RrClustersResult& result, const AdjustmentOptions& options = {});
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_ADJUSTMENT_H_

@@ -1,0 +1,55 @@
+// Algorithm 1: clustering of attributes by dependence, subject to a cap
+// Tv on the number of category combinations per cluster and a floor Td on
+// the dependence required to merge.
+
+#ifndef MDRR_CORE_CLUSTERING_H_
+#define MDRR_CORE_CLUSTERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/linalg/matrix.h"
+
+namespace mdrr {
+
+struct ClusteringOptions {
+  // Tv: maximum number of attribute-value combinations in a cluster.
+  double max_combinations = 50;
+  // Td: minimum inter-cluster dependence for a merge.
+  double min_dependence = 0.1;
+};
+
+// A clustering is a partition of attribute indices; clusters and their
+// members are kept sorted for determinism.
+using AttributeClustering = std::vector<std::vector<size_t>>;
+
+// Runs Algorithm 1. `cardinalities[j]` is |A_j|; `dependences` is the
+// symmetric m x m matrix from dependence_estimators.h. The dependence
+// between two clusters is the maximum dependence over cross pairs.
+//
+// Fails if sizes are inconsistent. Single-attribute clusters whose own
+// cardinality exceeds Tv are allowed (they simply never merge), matching
+// the algorithm's initialization.
+StatusOr<AttributeClustering> ClusterAttributes(
+    const std::vector<int64_t>& cardinalities,
+    const linalg::Matrix& dependences, const ClusteringOptions& options);
+
+// Convenience: cardinalities from `dataset`.
+StatusOr<AttributeClustering> ClusterAttributes(
+    const Dataset& dataset, const linalg::Matrix& dependences,
+    const ClusteringOptions& options);
+
+// Number of category combinations in `cluster` (product of cardinalities).
+double ClusterCombinations(const std::vector<int64_t>& cardinalities,
+                           const std::vector<size_t>& cluster);
+
+// "{A,B}{C}{D}" using attribute names; for logs and reports.
+std::string ClusteringToString(const Dataset& dataset,
+                               const AttributeClustering& clustering);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_CLUSTERING_H_

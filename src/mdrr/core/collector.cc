@@ -1,0 +1,52 @@
+#include "mdrr/core/collector.h"
+
+#include "mdrr/core/estimator.h"
+
+namespace mdrr {
+
+ReportCollector::ReportCollector(RrMatrix matrix)
+    : matrix_(std::move(matrix)), counts_(matrix_.size(), 0) {}
+
+Status ReportCollector::AddReport(uint32_t code) {
+  if (code >= counts_.size()) {
+    return Status::InvalidArgument("report code out of range");
+  }
+  ++counts_[code];
+  ++num_reports_;
+  return Status::OK();
+}
+
+Status ReportCollector::AddReports(const std::vector<uint32_t>& codes) {
+  for (uint32_t code : codes) {
+    MDRR_RETURN_IF_ERROR(AddReport(code));
+  }
+  return Status::OK();
+}
+
+std::vector<double> ReportCollector::Lambda() const {
+  std::vector<double> lambda(counts_.size(), 0.0);
+  if (num_reports_ == 0) return lambda;
+  for (size_t v = 0; v < counts_.size(); ++v) {
+    lambda[v] =
+        static_cast<double>(counts_[v]) / static_cast<double>(num_reports_);
+  }
+  return lambda;
+}
+
+StatusOr<std::vector<double>> ReportCollector::Estimate() const {
+  if (num_reports_ == 0) {
+    return Status::FailedPrecondition("no reports collected yet");
+  }
+  return EstimateProjectedDistribution(matrix_, Lambda());
+}
+
+StatusOr<std::vector<double>> ReportCollector::ConfidenceHalfWidths(
+    double alpha) const {
+  if (num_reports_ == 0) {
+    return Status::FailedPrecondition("no reports collected yet");
+  }
+  return EstimateConfidenceHalfWidths(matrix_, Lambda(), num_reports_,
+                                      alpha);
+}
+
+}  // namespace mdrr

@@ -1,0 +1,54 @@
+// Streaming report collection: the data-controller side of a live survey.
+// Reports arrive one at a time; the collector maintains running counts
+// and can produce the Eq. (2) estimate, its confidence half-widths, and
+// the current privacy posture at any moment -- no need to batch.
+
+#ifndef MDRR_CORE_COLLECTOR_H_
+#define MDRR_CORE_COLLECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/rr_matrix.h"
+
+namespace mdrr {
+
+class ReportCollector {
+ public:
+  // The collector owns a copy of the public randomization matrix the
+  // respondents use.
+  explicit ReportCollector(RrMatrix matrix);
+
+  // Ingests one randomized report. Fails if the code is out of range.
+  Status AddReport(uint32_t code);
+
+  // Ingests a batch.
+  Status AddReports(const std::vector<uint32_t>& codes);
+
+  int64_t num_reports() const { return num_reports_; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  // Empirical distribution of the reports so far (all zeros when empty).
+  std::vector<double> Lambda() const;
+
+  // Current Eq. (2) estimate, projected onto the simplex (Section 6.4).
+  // Fails when no reports have arrived or the matrix is singular.
+  StatusOr<std::vector<double>> Estimate() const;
+
+  // Simultaneous (1 - alpha) confidence half-widths of the raw estimate
+  // at the current sample size (estimator.h machinery).
+  StatusOr<std::vector<double>> ConfidenceHalfWidths(double alpha) const;
+
+  // Per-respondent epsilon of the design in use.
+  double Epsilon() const { return matrix_.Epsilon(); }
+
+ private:
+  RrMatrix matrix_;
+  std::vector<int64_t> counts_;
+  int64_t num_reports_ = 0;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_COLLECTOR_H_

@@ -1,0 +1,195 @@
+#include "mdrr/core/dependence.h"
+
+#include <cmath>
+
+#include "mdrr/common/check.h"
+#include "mdrr/stats/descriptive.h"
+#include "mdrr/stats/frequency.h"
+
+namespace mdrr {
+
+double DependenceBetweenColumns(const std::vector<uint32_t>& codes_a,
+                                size_t cardinality_a, AttributeType type_a,
+                                const std::vector<uint32_t>& codes_b,
+                                size_t cardinality_b, AttributeType type_b) {
+  MDRR_CHECK_EQ(codes_a.size(), codes_b.size());
+  MDRR_CHECK(!codes_a.empty());
+  if (type_a == AttributeType::kOrdinal && type_b == AttributeType::kOrdinal) {
+    std::vector<double> x(codes_a.begin(), codes_a.end());
+    std::vector<double> y(codes_b.begin(), codes_b.end());
+    return std::fabs(stats::PearsonCorrelation(x, y));
+  }
+  stats::ContingencyTable table(codes_a, cardinality_a, codes_b,
+                                cardinality_b);
+  return table.CramersV();
+}
+
+double DependenceBetween(const Dataset& dataset, size_t i, size_t j) {
+  const Attribute& a = dataset.attribute(i);
+  const Attribute& b = dataset.attribute(j);
+  return DependenceBetweenColumns(dataset.column(i), a.cardinality(), a.type,
+                                  dataset.column(j), b.cardinality(), b.type);
+}
+
+linalg::Matrix DependenceMatrix(const Dataset& dataset) {
+  const size_t m = dataset.num_attributes();
+  linalg::Matrix deps(m, m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    deps(i, i) = 1.0;
+    for (size_t j = i + 1; j < m; ++j) {
+      double d = DependenceBetween(dataset, i, j);
+      deps(i, j) = d;
+      deps(j, i) = d;
+    }
+  }
+  return deps;
+}
+
+double NormalizedMutualInformationFromJoint(const std::vector<double>& joint,
+                                            size_t cardinality_a,
+                                            size_t cardinality_b) {
+  MDRR_CHECK_EQ(joint.size(), cardinality_a * cardinality_b);
+  double total = 0.0;
+  for (double w : joint) total += std::max(0.0, w);
+  if (total <= 0.0) return 0.0;
+
+  std::vector<double> marginal_a(cardinality_a, 0.0);
+  std::vector<double> marginal_b(cardinality_b, 0.0);
+  for (size_t a = 0; a < cardinality_a; ++a) {
+    for (size_t b = 0; b < cardinality_b; ++b) {
+      double w = std::max(0.0, joint[a * cardinality_b + b]) / total;
+      marginal_a[a] += w;
+      marginal_b[b] += w;
+    }
+  }
+  auto entropy = [](const std::vector<double>& dist) {
+    double h = 0.0;
+    for (double x : dist) {
+      if (x > 0.0) h -= x * std::log(x);
+    }
+    return h;
+  };
+  double h_a = entropy(marginal_a);
+  double h_b = entropy(marginal_b);
+  if (h_a <= 0.0 || h_b <= 0.0) return 0.0;
+
+  double mutual = 0.0;
+  for (size_t a = 0; a < cardinality_a; ++a) {
+    for (size_t b = 0; b < cardinality_b; ++b) {
+      double w = std::max(0.0, joint[a * cardinality_b + b]) / total;
+      if (w <= 0.0) continue;
+      mutual += w * std::log(w / (marginal_a[a] * marginal_b[b]));
+    }
+  }
+  double nmi = mutual / std::min(h_a, h_b);
+  return std::min(1.0, std::max(0.0, nmi));
+}
+
+double NormalizedMutualInformation(const std::vector<uint32_t>& codes_a,
+                                   size_t cardinality_a,
+                                   const std::vector<uint32_t>& codes_b,
+                                   size_t cardinality_b) {
+  MDRR_CHECK_EQ(codes_a.size(), codes_b.size());
+  MDRR_CHECK(!codes_a.empty());
+  std::vector<double> joint(cardinality_a * cardinality_b, 0.0);
+  for (size_t i = 0; i < codes_a.size(); ++i) {
+    MDRR_CHECK_LT(codes_a[i], cardinality_a);
+    MDRR_CHECK_LT(codes_b[i], cardinality_b);
+    joint[codes_a[i] * cardinality_b + codes_b[i]] += 1.0;
+  }
+  return NormalizedMutualInformationFromJoint(joint, cardinality_a,
+                                              cardinality_b);
+}
+
+linalg::Matrix DependenceMatrixWithMeasure(const Dataset& dataset,
+                                           DependenceMeasure measure) {
+  const size_t m = dataset.num_attributes();
+  linalg::Matrix deps(m, m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    deps(i, i) = 1.0;
+    const Attribute& a = dataset.attribute(i);
+    for (size_t j = i + 1; j < m; ++j) {
+      const Attribute& b = dataset.attribute(j);
+      double d = 0.0;
+      switch (measure) {
+        case DependenceMeasure::kPaperAuto:
+          d = DependenceBetween(dataset, i, j);
+          break;
+        case DependenceMeasure::kCramersV: {
+          stats::ContingencyTable table(dataset.column(i), a.cardinality(),
+                                        dataset.column(j), b.cardinality());
+          d = table.CramersV();
+          break;
+        }
+        case DependenceMeasure::kAbsPearson: {
+          std::vector<double> x(dataset.column(i).begin(),
+                                dataset.column(i).end());
+          std::vector<double> y(dataset.column(j).begin(),
+                                dataset.column(j).end());
+          d = std::fabs(stats::PearsonCorrelation(x, y));
+          break;
+        }
+        case DependenceMeasure::kNormalizedMutualInformation:
+          d = NormalizedMutualInformation(dataset.column(i), a.cardinality(),
+                                          dataset.column(j),
+                                          b.cardinality());
+          break;
+      }
+      deps(i, j) = d;
+      deps(j, i) = d;
+    }
+  }
+  return deps;
+}
+
+double AbsPearsonFromJoint(const std::vector<double>& joint,
+                           size_t cardinality_a, size_t cardinality_b) {
+  MDRR_CHECK_EQ(joint.size(), cardinality_a * cardinality_b);
+  double total = 0.0;
+  for (double w : joint) total += std::max(0.0, w);
+  if (total <= 0.0) return 0.0;
+
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t a = 0; a < cardinality_a; ++a) {
+    for (size_t b = 0; b < cardinality_b; ++b) {
+      double w = std::max(0.0, joint[a * cardinality_b + b]) / total;
+      mean_a += w * static_cast<double>(a);
+      mean_b += w * static_cast<double>(b);
+    }
+  }
+  double var_a = 0.0;
+  double var_b = 0.0;
+  double cov = 0.0;
+  for (size_t a = 0; a < cardinality_a; ++a) {
+    for (size_t b = 0; b < cardinality_b; ++b) {
+      double w = std::max(0.0, joint[a * cardinality_b + b]) / total;
+      double da = static_cast<double>(a) - mean_a;
+      double db = static_cast<double>(b) - mean_b;
+      var_a += w * da * da;
+      var_b += w * db * db;
+      cov += w * da * db;
+    }
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return std::fabs(cov / std::sqrt(var_a * var_b));
+}
+
+double DependenceFromJoint(const std::vector<double>& joint,
+                           size_t cardinality_a, AttributeType type_a,
+                           size_t cardinality_b, AttributeType type_b,
+                           double n) {
+  if (type_a == AttributeType::kOrdinal && type_b == AttributeType::kOrdinal) {
+    return AbsPearsonFromJoint(joint, cardinality_a, cardinality_b);
+  }
+  // Clamp negative cells (estimated joints may leave the simplex).
+  std::vector<double> clamped(joint.size());
+  for (size_t i = 0; i < joint.size(); ++i) {
+    clamped[i] = std::max(0.0, joint[i]);
+  }
+  stats::ContingencyTable table(std::move(clamped), cardinality_a,
+                                cardinality_b, n);
+  return table.CramersV();
+}
+
+}  // namespace mdrr

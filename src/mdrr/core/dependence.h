@@ -1,0 +1,72 @@
+// Attribute dependence measures (Section 4, Expressions (8) and (9)):
+// |Pearson r| for ordinal-ordinal pairs, Cramér's V when any attribute is
+// nominal. Both lie in [0, 1], so mixed comparisons are meaningful.
+
+#ifndef MDRR_CORE_DEPENDENCE_H_
+#define MDRR_CORE_DEPENDENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/linalg/matrix.h"
+
+namespace mdrr {
+
+// Selectable dependence statistic. kPaperAuto is the paper's rule
+// (|Pearson| for ordinal pairs, Cramér's V otherwise); the others force
+// one statistic regardless of attribute types. All are bounded in [0, 1],
+// so any of them can drive Algorithm 1.
+enum class DependenceMeasure {
+  kPaperAuto,
+  kCramersV,
+  kAbsPearson,
+  kNormalizedMutualInformation,
+};
+
+// Dependence in [0, 1] between two code columns given their measurement
+// types and cardinalities. Ordinal codes are treated as ranks.
+double DependenceBetweenColumns(const std::vector<uint32_t>& codes_a,
+                                size_t cardinality_a, AttributeType type_a,
+                                const std::vector<uint32_t>& codes_b,
+                                size_t cardinality_b, AttributeType type_b);
+
+// Normalized mutual information I(A;B) / min(H(A), H(B)) in [0, 1];
+// 0 when either variable is constant. Natural-log entropies.
+double NormalizedMutualInformation(const std::vector<uint32_t>& codes_a,
+                                   size_t cardinality_a,
+                                   const std::vector<uint32_t>& codes_b,
+                                   size_t cardinality_b);
+
+// NMI from a joint weight table (probabilities or counts; negatives are
+// clamped to 0), row-major [cardinality_a x cardinality_b].
+double NormalizedMutualInformationFromJoint(const std::vector<double>& joint,
+                                            size_t cardinality_a,
+                                            size_t cardinality_b);
+
+// Pairwise dependence matrix under an explicit measure choice.
+linalg::Matrix DependenceMatrixWithMeasure(const Dataset& dataset,
+                                           DependenceMeasure measure);
+
+// Dependence between attributes i and j of `dataset`.
+double DependenceBetween(const Dataset& dataset, size_t i, size_t j);
+
+// Symmetric m x m matrix of pairwise dependences (diagonal = 1).
+linalg::Matrix DependenceMatrix(const Dataset& dataset);
+
+// Dependence computed from a bivariate distribution rather than raw codes
+// (used by the Section 4.2/4.3 estimators, which only see joint tables).
+// `joint` is row-major [cardinality_a x cardinality_b] and may hold
+// probabilities or counts; `n` is the effective sample size for chi².
+double DependenceFromJoint(const std::vector<double>& joint,
+                           size_t cardinality_a, AttributeType type_a,
+                           size_t cardinality_b, AttributeType type_b,
+                           double n);
+
+// |Pearson correlation| computed from a joint table over code values.
+double AbsPearsonFromJoint(const std::vector<double>& joint,
+                           size_t cardinality_a, size_t cardinality_b);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_DEPENDENCE_H_

@@ -1,0 +1,60 @@
+// The three privacy-preserving dependence-assessment methods of Sections
+// 4.1-4.3, plus the trusted-party oracle baseline. All return the m x m
+// dependence matrix consumed by Algorithm 1 (clustering.h), together with
+// the privacy cost of the assessment.
+
+#ifndef MDRR_CORE_DEPENDENCE_ESTIMATORS_H_
+#define MDRR_CORE_DEPENDENCE_ESTIMATORS_H_
+
+#include <cstdint>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/dependence.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/linalg/matrix.h"
+#include "mdrr/mpc/secure_sum.h"
+
+namespace mdrr {
+
+struct DependenceEstimate {
+  linalg::Matrix dependences;  // m x m, symmetric, diagonal 1.
+  // Epsilon spent by the assessment (0 for the oracle; the Section 4.2
+  // method releases exact values, so its epsilon is infinity).
+  double epsilon = 0.0;
+  // Point-to-point messages exchanged (communication-cost bookkeeping of
+  // Sections 4.1-4.3).
+  uint64_t messages = 0;
+};
+
+// Baseline: a trusted party computes dependences on the true data.
+DependenceEstimate OracleDependences(const Dataset& dataset);
+
+// Section 4.1: every party publishes each attribute through
+// KeepUniform(|A|, p) RR; dependences are computed on the randomized data.
+// By Corollary 1 the ranking of dependences is (approximately) preserved
+// while each value is attenuated.
+DependenceEstimate RandomizedResponseDependences(const Dataset& dataset,
+                                                 double keep_probability,
+                                                 uint64_t seed);
+
+// Section 4.2: exact bivariate distributions through the secure-sum
+// protocol; no masking, so no differential privacy (epsilon = +inf) but
+// unlinkability of pairs. `mode` selects literal vs fast simulation.
+StatusOr<DependenceEstimate> SecureSumDependences(const Dataset& dataset,
+                                                  mpc::SimulationMode mode,
+                                                  uint64_t seed);
+
+// Section 4.3: every attribute *pair* is masked with KeepUniform RR over
+// the pair domain, aggregated by secure sum, and the true bivariate
+// distribution is recovered with Eq. (2). Differentially private; under
+// the paper's unlinkability argument the releases of one attribute
+// compose in parallel, so the reported epsilon is the maximum pair
+// epsilon rather than the sum (Section 4.3).
+StatusOr<DependenceEstimate> PairwiseRrDependences(const Dataset& dataset,
+                                                   double keep_probability,
+                                                   mpc::SimulationMode mode,
+                                                   uint64_t seed);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_DEPENDENCE_ESTIMATORS_H_

@@ -1,0 +1,146 @@
+#include "mdrr/core/estimator.h"
+
+#include <cmath>
+
+#include "mdrr/common/check.h"
+#include "mdrr/stats/special_functions.h"
+
+namespace mdrr {
+
+std::vector<double> EmpiricalDistribution(const std::vector<uint32_t>& codes,
+                                          size_t num_categories) {
+  std::vector<double> distribution(num_categories, 0.0);
+  if (codes.empty()) return distribution;
+  for (uint32_t code : codes) {
+    MDRR_CHECK_LT(code, num_categories);
+    distribution[code] += 1.0;
+  }
+  double inv_n = 1.0 / static_cast<double>(codes.size());
+  for (double& d : distribution) d *= inv_n;
+  return distribution;
+}
+
+StatusOr<std::vector<double>> EstimateDistribution(
+    const RrMatrix& p, const std::vector<double>& lambda_hat) {
+  return p.SolveTranspose(lambda_hat);
+}
+
+std::vector<double> ProjectToSimplex(const std::vector<double>& v) {
+  std::vector<double> result(v.size(), 0.0);
+  double positive_mass = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] > 0.0) {
+      result[i] = v[i];
+      positive_mass += v[i];
+    }
+  }
+  if (positive_mass <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(v.size());
+    for (double& r : result) r = uniform;
+    return result;
+  }
+  for (double& r : result) r /= positive_mass;
+  return result;
+}
+
+StatusOr<std::vector<double>> EstimateProjectedDistribution(
+    const RrMatrix& p, const std::vector<double>& lambda_hat) {
+  MDRR_ASSIGN_OR_RETURN(std::vector<double> raw,
+                        EstimateDistribution(p, lambda_hat));
+  return ProjectToSimplex(raw);
+}
+
+StatusOr<std::vector<double>> EstimateVariances(
+    const RrMatrix& p, const std::vector<double>& lambda_hat, int64_t n) {
+  const size_t r = p.size();
+  if (lambda_hat.size() != r) {
+    return Status::InvalidArgument("lambda size does not match matrix size");
+  }
+  if (n <= 0) {
+    return Status::InvalidArgument("sample size must be positive");
+  }
+  // Var(π̂_u) = e_uᵀ (Pᵀ)⁻¹ Σ P⁻¹ e_u = q_uᵀ Σ q_u, where q_u is the u-th
+  // column of P⁻¹ (equivalently the solution of Pᵀ q = e_u). With
+  // Σ = (diag(λ) - λλᵀ)/n this is
+  //   (Σ_v λ_v q_u[v]² - (Σ_v λ_v q_u[v])²) / n.
+  std::vector<double> variances(r);
+  std::vector<double> unit(r, 0.0);
+  for (size_t u = 0; u < r; ++u) {
+    unit[u] = 1.0;
+    MDRR_ASSIGN_OR_RETURN(std::vector<double> q, p.SolveTranspose(unit));
+    unit[u] = 0.0;
+    double second_moment = 0.0;
+    double first_moment = 0.0;
+    for (size_t v = 0; v < r; ++v) {
+      second_moment += lambda_hat[v] * q[v] * q[v];
+      first_moment += lambda_hat[v] * q[v];
+    }
+    variances[u] = (second_moment - first_moment * first_moment) /
+                   static_cast<double>(n);
+    if (variances[u] < 0.0) variances[u] = 0.0;  // Round-off guard.
+  }
+  return variances;
+}
+
+StatusOr<std::vector<double>> EstimateConfidenceHalfWidths(
+    const RrMatrix& p, const std::vector<double>& lambda_hat, int64_t n,
+    double alpha) {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  MDRR_ASSIGN_OR_RETURN(std::vector<double> variances,
+                        EstimateVariances(p, lambda_hat, n));
+  double z = stats::StandardNormalQuantile(
+      1.0 - alpha / (2.0 * static_cast<double>(p.size())));
+  std::vector<double> half_widths(variances.size());
+  for (size_t u = 0; u < variances.size(); ++u) {
+    half_widths[u] = z * std::sqrt(variances[u]);
+  }
+  return half_widths;
+}
+
+StatusOr<std::vector<double>> IterativeBayesianUpdate(
+    const RrMatrix& p, const std::vector<double>& lambda_hat,
+    const IterativeBayesianOptions& options) {
+  const size_t r = p.size();
+  if (lambda_hat.size() != r) {
+    return Status::InvalidArgument("lambda size does not match matrix size");
+  }
+  std::vector<double> pi(r, 1.0 / static_cast<double>(r));
+  std::vector<double> next(r);
+  std::vector<double> predicted(r);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // predicted[v] = Σ_w π(w) p_wv: the randomized distribution implied by
+    // the current estimate.
+    for (size_t v = 0; v < r; ++v) {
+      double sum = 0.0;
+      for (size_t w = 0; w < r; ++w) sum += pi[w] * p.Prob(w, v);
+      predicted[v] = sum;
+    }
+    for (size_t u = 0; u < r; ++u) {
+      double sum = 0.0;
+      for (size_t v = 0; v < r; ++v) {
+        if (predicted[v] <= 0.0) continue;
+        sum += lambda_hat[v] * p.Prob(u, v) / predicted[v];
+      }
+      next[u] = pi[u] * sum;
+    }
+    // Normalize (guards round-off; the update preserves total mass when
+    // lambda_hat sums to 1).
+    double total = 0.0;
+    for (double x : next) total += x;
+    if (total <= 0.0) {
+      return Status::Internal("iterative Bayesian update lost all mass");
+    }
+    double max_delta = 0.0;
+    for (size_t u = 0; u < r; ++u) {
+      next[u] /= total;
+      max_delta = std::max(max_delta, std::fabs(next[u] - pi[u]));
+    }
+    pi.swap(next);
+    if (max_delta < options.tolerance) break;
+  }
+  return pi;
+}
+
+}  // namespace mdrr

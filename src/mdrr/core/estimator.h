@@ -1,0 +1,71 @@
+// Frequency estimation from randomized responses.
+//
+// The unbiased estimator of Eq. (2): π̂ = (Pᵀ)⁻¹ λ̂, where λ̂ is the
+// empirical distribution of the randomized data. Because π̂ may leave the
+// probability simplex, two repair strategies are provided:
+//   * ProjectToSimplex -- the paper's Section 6.4 procedure (clamp
+//     negatives to zero, rescale to sum 1);
+//   * IterativeBayesianUpdate -- the EM-style update the paper cites from
+//     Alvim et al. [2], which converges to a proper distribution.
+
+#ifndef MDRR_CORE_ESTIMATOR_H_
+#define MDRR_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/rr_matrix.h"
+
+namespace mdrr {
+
+// Empirical distribution λ̂ of a column of category codes.
+// Precondition: every code < num_categories.
+std::vector<double> EmpiricalDistribution(const std::vector<uint32_t>& codes,
+                                          size_t num_categories);
+
+// Eq. (2): the raw unbiased estimate (entries may be < 0 or > 1).
+// Fails if sizes mismatch or P is singular.
+StatusOr<std::vector<double>> EstimateDistribution(
+    const RrMatrix& p, const std::vector<double>& lambda_hat);
+
+// Section 6.4: the proper distribution closest to `v` under the paper's
+// clamp-and-rescale rule. If no entry is positive, returns uniform.
+std::vector<double> ProjectToSimplex(const std::vector<double>& v);
+
+// Eq. (2) followed by ProjectToSimplex.
+StatusOr<std::vector<double>> EstimateProjectedDistribution(
+    const RrMatrix& p, const std::vector<double>& lambda_hat);
+
+// Variance of the Eq. (2) estimator (the "unbiased estimator of the
+// dispersion matrix" of Chaudhuri-Mukerjee cited in Section 2.1):
+// Var(π̂) = diag of (Pᵀ)⁻¹ Σ P⁻¹ with Σ = (diag(λ) - λ λᵀ)/n, the
+// multinomial covariance of λ̂. Returns per-category variances.
+// Fails on size mismatch, singular P, or n <= 0.
+StatusOr<std::vector<double>> EstimateVariances(
+    const RrMatrix& p, const std::vector<double>& lambda_hat, int64_t n);
+
+// Symmetric two-sided confidence half-widths for each entry of π̂ at
+// simultaneous level 1 - alpha (Bonferroni over categories, normal
+// approximation): half_width[u] = z_{1 - alpha/(2r)} * sqrt(Var(π̂_u)).
+StatusOr<std::vector<double>> EstimateConfidenceHalfWidths(
+    const RrMatrix& p, const std::vector<double>& lambda_hat, int64_t n,
+    double alpha);
+
+struct IterativeBayesianOptions {
+  int max_iterations = 200;
+  // Stop when max_u |π_{t+1}(u) - π_t(u)| < tolerance.
+  double tolerance = 1e-10;
+};
+
+// Iterative Bayesian update (Agrawal-Aggarwal / Alvim et al. style EM):
+//   π_{t+1}(u) = Σ_v λ̂(v) · π_t(u) p_uv / Σ_w π_t(w) p_wv.
+// Always yields a proper distribution; it is the maximum-likelihood
+// estimate of π in the limit. Starts from the uniform distribution.
+StatusOr<std::vector<double>> IterativeBayesianUpdate(
+    const RrMatrix& p, const std::vector<double>& lambda_hat,
+    const IterativeBayesianOptions& options = {});
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_ESTIMATOR_H_

@@ -1,0 +1,121 @@
+#include "mdrr/core/frequency_oracle.h"
+
+#include <cmath>
+
+#include "mdrr/common/check.h"
+#include "mdrr/core/estimator.h"
+
+namespace mdrr {
+
+DirectEncodingOracle::DirectEncodingOracle(size_t r, double epsilon)
+    : r_(r),
+      epsilon_(epsilon),
+      matrix_(RrMatrix::OptimalForEpsilon(r, epsilon)),
+      p_(matrix_.Prob(0, 0)),
+      q_(r > 1 ? matrix_.Prob(0, 1) : 0.0) {
+  MDRR_CHECK_GE(r, 2u);
+  MDRR_CHECK_GT(epsilon, 0.0);
+}
+
+uint32_t DirectEncodingOracle::Randomize(uint32_t value, Rng& rng) const {
+  return matrix_.Randomize(value, rng);
+}
+
+StatusOr<std::vector<double>> DirectEncodingOracle::EstimateFrequencies(
+    const std::vector<uint32_t>& reports) const {
+  if (reports.empty()) {
+    return Status::InvalidArgument("no reports to estimate from");
+  }
+  std::vector<double> lambda = EmpiricalDistribution(reports, r_);
+  // For the uniform-mixture matrix, (P^T)^{-1} lambda has the closed form
+  // (lambda_v - q) / (p - q) because the row/column sums are 1.
+  std::vector<double> estimates(r_);
+  double denom = p_ - q_;
+  for (size_t v = 0; v < r_; ++v) {
+    estimates[v] = (lambda[v] - q_) / denom;
+  }
+  return estimates;
+}
+
+double DirectEncodingOracle::TheoreticalVariance(double pi_v,
+                                                 int64_t n) const {
+  MDRR_CHECK_GT(n, 0);
+  double nd = static_cast<double>(n);
+  double denom = p_ - q_;
+  return q_ * (1.0 - q_) / (nd * denom * denom) +
+         pi_v * (1.0 - p_ - q_) / (nd * denom);
+}
+
+UnaryEncodingOracle::UnaryEncodingOracle(size_t r, double epsilon,
+                                         Variant variant)
+    : r_(r), epsilon_(epsilon), variant_(variant) {
+  MDRR_CHECK_GE(r, 2u);
+  MDRR_CHECK_GT(epsilon, 0.0);
+  if (variant == Variant::kSymmetric) {
+    // Each report perturbs two bits "against" the truth in the worst
+    // case, so each bit gets eps/2: p/(1-p) = e^{eps/2}.
+    double half = std::exp(epsilon / 2.0);
+    p_ = half / (half + 1.0);
+    q_ = 1.0 - p_;
+  } else {
+    // OUE: p fixed at 1/2; q tuned so the full-report ratio is e^{eps}.
+    p_ = 0.5;
+    q_ = 1.0 / (std::exp(epsilon) + 1.0);
+  }
+}
+
+std::vector<uint8_t> UnaryEncodingOracle::Randomize(uint32_t value,
+                                                    Rng& rng) const {
+  MDRR_CHECK_LT(value, r_);
+  std::vector<uint8_t> bits(r_);
+  for (size_t v = 0; v < r_; ++v) {
+    double keep_one = (v == value) ? p_ : q_;
+    bits[v] = rng.Bernoulli(keep_one) ? 1 : 0;
+  }
+  return bits;
+}
+
+StatusOr<std::vector<double>> UnaryEncodingOracle::EstimateFrequencies(
+    const std::vector<int64_t>& bit_counts, int64_t n) const {
+  if (bit_counts.size() != r_) {
+    return Status::InvalidArgument("bit count vector size mismatch");
+  }
+  if (n <= 0) {
+    return Status::InvalidArgument("sample size must be positive");
+  }
+  std::vector<double> estimates(r_);
+  double denom = p_ - q_;
+  for (size_t v = 0; v < r_; ++v) {
+    double observed = static_cast<double>(bit_counts[v]) /
+                      static_cast<double>(n);
+    estimates[v] = (observed - q_) / denom;
+  }
+  return estimates;
+}
+
+StatusOr<std::vector<double>> UnaryEncodingOracle::EstimateFromReports(
+    const std::vector<std::vector<uint8_t>>& reports) const {
+  if (reports.empty()) {
+    return Status::InvalidArgument("no reports to estimate from");
+  }
+  std::vector<int64_t> bit_counts(r_, 0);
+  for (const std::vector<uint8_t>& report : reports) {
+    if (report.size() != r_) {
+      return Status::InvalidArgument("report length mismatch");
+    }
+    for (size_t v = 0; v < r_; ++v) bit_counts[v] += report[v];
+  }
+  return EstimateFrequencies(bit_counts,
+                             static_cast<int64_t>(reports.size()));
+}
+
+double UnaryEncodingOracle::TheoreticalVariance(double pi_v,
+                                                int64_t n) const {
+  MDRR_CHECK_GT(n, 0);
+  double nd = static_cast<double>(n);
+  double denom = p_ - q_;
+  return q_ * (1.0 - q_) / (nd * denom * denom) +
+         pi_v * (1.0 - p_ - q_) / (nd * denom);
+}
+
+}  // namespace mdrr

@@ -1,0 +1,103 @@
+// Local-differential-privacy frequency oracles: the protocol family of
+// Wang et al. (USENIX Security 2017), cited by the paper as [29], plus
+// the RAPPOR-style unary encodings of its related work (Section 7).
+//
+// These are *frequency-only* baselines: unlike randomized response they
+// release no microdata, but they make the comparison the paper's related
+// work discusses concrete -- at equal epsilon, how much frequency accuracy
+// does the microdata-capable mechanism give up?
+//
+//   * DirectEncodingOracle  -- k-ary randomized response (the paper's
+//     optimal matrix); estimation variance grows with the domain size r.
+//   * UnaryEncodingOracle   -- one-hot encoding with per-bit flips.
+//     Symmetric parameters (SUE, basic RAPPOR) or the optimized ones
+//     (OUE), whose variance is independent of r.
+
+#ifndef MDRR_CORE_FREQUENCY_ORACLE_H_
+#define MDRR_CORE_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+// k-ary randomized response as a frequency oracle.
+class DirectEncodingOracle {
+ public:
+  // Preconditions: r >= 2, epsilon > 0.
+  DirectEncodingOracle(size_t r, double epsilon);
+
+  size_t domain_size() const { return r_; }
+  double epsilon() const { return epsilon_; }
+
+  // One respondent's randomized report.
+  uint32_t Randomize(uint32_t value, Rng& rng) const;
+
+  // Unbiased frequency estimates from the reported codes:
+  // pi_v = (lambda_v - q) / (p - q). Entries may leave [0, 1]; callers
+  // wanting a proper distribution apply ProjectToSimplex.
+  StatusOr<std::vector<double>> EstimateFrequencies(
+      const std::vector<uint32_t>& reports) const;
+
+  // Estimator variance for a category with true frequency pi_v at sample
+  // size n (Wang et al., Eq. for DE):
+  //   Var = q(1-q)/(n (p-q)^2) + pi_v (1 - p - q)/(n (p - q)).
+  double TheoreticalVariance(double pi_v, int64_t n) const;
+
+ private:
+  size_t r_;
+  double epsilon_;
+  RrMatrix matrix_;
+  double p_;  // Diagonal probability.
+  double q_;  // Off-diagonal probability.
+};
+
+// One-hot (unary) encoding with independent per-bit randomization.
+class UnaryEncodingOracle {
+ public:
+  enum class Variant {
+    kSymmetric,  // SUE / basic RAPPOR: p = e^{eps/2}/(e^{eps/2}+1), q = 1-p.
+    kOptimized,  // OUE: p = 1/2, q = 1/(e^{eps}+1).
+  };
+
+  // Preconditions: r >= 2, epsilon > 0.
+  UnaryEncodingOracle(size_t r, double epsilon, Variant variant);
+
+  size_t domain_size() const { return r_; }
+  double epsilon() const { return epsilon_; }
+  Variant variant() const { return variant_; }
+  double p() const { return p_; }
+  double q() const { return q_; }
+
+  // One respondent's randomized bit vector (length r): bit v keeps its
+  // one-hot value with probability p (if 1) / flips to 1 with
+  // probability q (if 0).
+  std::vector<uint8_t> Randomize(uint32_t value, Rng& rng) const;
+
+  // Unbiased estimates from summed bit reports:
+  // pi_v = (count_v / n - q) / (p - q).
+  StatusOr<std::vector<double>> EstimateFrequencies(
+      const std::vector<int64_t>& bit_counts, int64_t n) const;
+
+  // Convenience: accumulates bit vectors and estimates.
+  StatusOr<std::vector<double>> EstimateFromReports(
+      const std::vector<std::vector<uint8_t>>& reports) const;
+
+  // Var = q(1-q)/(n (p-q)^2) + pi_v (1 - p - q)/(n (p - q)).
+  double TheoreticalVariance(double pi_v, int64_t n) const;
+
+ private:
+  size_t r_;
+  double epsilon_;
+  Variant variant_;
+  double p_;  // P[report 1 | true bit 1].
+  double q_;  // P[report 1 | true bit 0].
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_FREQUENCY_ORACLE_H_

@@ -1,0 +1,169 @@
+#include "mdrr/core/joint_estimate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+namespace {
+
+// Sums, per composite code of the queried attributes, the given per-record
+// mass (1.0 for counting, w_i for weighted estimates), then adds up the
+// mass of the query's tuples.
+double AccumulateByComposite(const Dataset& dataset, const CountQuery& query,
+                             const std::vector<double>* weights,
+                             double scale) {
+  Domain domain = Domain::ForAttributes(dataset, query.attributes);
+  std::vector<uint32_t> composite =
+      domain.ComposeColumns(dataset, query.attributes);
+  std::vector<double> mass(domain.size(), 0.0);
+  if (weights == nullptr) {
+    for (uint32_t code : composite) mass[code] += 1.0;
+  } else {
+    MDRR_CHECK_EQ(weights->size(), composite.size());
+    for (size_t i = 0; i < composite.size(); ++i) {
+      mass[composite[i]] += (*weights)[i];
+    }
+  }
+  double total = 0.0;
+  for (const std::vector<uint32_t>& tuple : query.tuples) {
+    total += mass[domain.Encode(tuple)];
+  }
+  return total * scale;
+}
+
+}  // namespace
+
+EmpiricalCounts::EmpiricalCounts(Dataset dataset)
+    : dataset_(std::move(dataset)) {}
+
+double EmpiricalCounts::EstimateCount(const CountQuery& query) const {
+  return AccumulateByComposite(dataset_, query, /*weights=*/nullptr,
+                               /*scale=*/1.0);
+}
+
+IndependentMarginalsEstimate::IndependentMarginalsEstimate(
+    std::vector<std::vector<double>> marginals, double n)
+    : marginals_(std::move(marginals)), n_(n) {
+  MDRR_CHECK_GT(n_, 0.0);
+}
+
+double IndependentMarginalsEstimate::EstimateCount(
+    const CountQuery& query) const {
+  double frequency = 0.0;
+  for (const std::vector<uint32_t>& tuple : query.tuples) {
+    MDRR_CHECK_EQ(tuple.size(), query.attributes.size());
+    double product = 1.0;
+    for (size_t k = 0; k < tuple.size(); ++k) {
+      size_t attr = query.attributes[k];
+      MDRR_CHECK_LT(attr, marginals_.size());
+      MDRR_CHECK_LT(tuple[k], marginals_[attr].size());
+      product *= marginals_[attr][tuple[k]];
+    }
+    frequency += product;
+  }
+  return frequency * n_;
+}
+
+ClusterFactorizationEstimate::ClusterFactorizationEstimate(
+    AttributeClustering clusters, std::vector<Domain> cluster_domains,
+    std::vector<std::vector<double>> cluster_joints, double n)
+    : clusters_(std::move(clusters)),
+      cluster_domains_(std::move(cluster_domains)),
+      cluster_joints_(std::move(cluster_joints)),
+      n_(n) {
+  MDRR_CHECK_EQ(clusters_.size(), cluster_domains_.size());
+  MDRR_CHECK_EQ(clusters_.size(), cluster_joints_.size());
+  MDRR_CHECK_GT(n_, 0.0);
+}
+
+double ClusterFactorizationEstimate::EstimateCount(
+    const CountQuery& query) const {
+  // Locate each queried attribute: (cluster index, position in cluster).
+  struct Location {
+    size_t cluster;
+    size_t position;
+  };
+  std::vector<Location> locations(query.attributes.size());
+  for (size_t k = 0; k < query.attributes.size(); ++k) {
+    size_t attr = query.attributes[k];
+    bool found = false;
+    for (size_t c = 0; c < clusters_.size() && !found; ++c) {
+      for (size_t p = 0; p < clusters_[c].size(); ++p) {
+        if (clusters_[c][p] == attr) {
+          locations[k] = Location{c, p};
+          found = true;
+          break;
+        }
+      }
+    }
+    MDRR_CHECK(found);
+  }
+
+  // Group queried positions per involved cluster, in query order.
+  std::vector<size_t> involved;  // Cluster indices, deduplicated.
+  std::vector<std::vector<size_t>> positions_per_cluster;   // In the cluster.
+  std::vector<std::vector<size_t>> query_slots_per_cluster; // In the tuple.
+  for (size_t k = 0; k < locations.size(); ++k) {
+    size_t c = locations[k].cluster;
+    auto it = std::find(involved.begin(), involved.end(), c);
+    size_t slot;
+    if (it == involved.end()) {
+      involved.push_back(c);
+      positions_per_cluster.emplace_back();
+      query_slots_per_cluster.emplace_back();
+      slot = involved.size() - 1;
+    } else {
+      slot = static_cast<size_t>(it - involved.begin());
+    }
+    positions_per_cluster[slot].push_back(locations[k].position);
+    query_slots_per_cluster[slot].push_back(k);
+  }
+
+  // Marginalize each involved cluster joint onto its queried positions
+  // once; per-tuple evaluation is then a product of table lookups.
+  std::vector<std::vector<double>> sub_joints(involved.size());
+  std::vector<Domain> sub_domains;
+  sub_domains.reserve(involved.size());
+  for (size_t s = 0; s < involved.size(); ++s) {
+    size_t c = involved[s];
+    sub_joints[s] = cluster_domains_[c].MarginalizeToSubset(
+        cluster_joints_[c], positions_per_cluster[s]);
+    std::vector<size_t> sub_cards;
+    for (size_t p : positions_per_cluster[s]) {
+      sub_cards.push_back(cluster_domains_[c].cardinalities()[p]);
+    }
+    sub_domains.push_back(Domain(sub_cards));
+  }
+
+  double frequency = 0.0;
+  std::vector<uint32_t> sub_tuple;
+  for (const std::vector<uint32_t>& tuple : query.tuples) {
+    MDRR_CHECK_EQ(tuple.size(), query.attributes.size());
+    double product = 1.0;
+    for (size_t s = 0; s < involved.size(); ++s) {
+      sub_tuple.clear();
+      for (size_t slot : query_slots_per_cluster[s]) {
+        sub_tuple.push_back(tuple[slot]);
+      }
+      product *= sub_joints[s][sub_domains[s].Encode(sub_tuple)];
+    }
+    frequency += product;
+  }
+  return frequency * n_;
+}
+
+WeightedRecordsEstimate::WeightedRecordsEstimate(Dataset randomized,
+                                                 std::vector<double> weights)
+    : randomized_(std::move(randomized)), weights_(std::move(weights)) {
+  MDRR_CHECK_EQ(weights_.size(), randomized_.num_rows());
+}
+
+double WeightedRecordsEstimate::EstimateCount(const CountQuery& query) const {
+  return AccumulateByComposite(randomized_, query, &weights_,
+                               static_cast<double>(randomized_.num_rows()));
+}
+
+}  // namespace mdrr

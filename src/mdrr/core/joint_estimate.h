@@ -1,0 +1,100 @@
+// Count-query evaluation interface over estimated joint distributions.
+//
+// The paper's evaluation (Section 6.5) asks every method the same
+// question: "how many records fall in a subset S of the data domain?".
+// JointEstimate abstracts over the four ways the protocols answer it:
+//   * empirical counts on a concrete data set (truth / Randomized);
+//   * product of per-attribute marginals (RR-Independent, Protocol 1);
+//   * product over cluster joints (RR-Clusters, Section 4);
+//   * weighted randomized records (RR-Adjustment, Section 5).
+
+#ifndef MDRR_CORE_JOINT_ESTIMATE_H_
+#define MDRR_CORE_JOINT_ESTIMATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mdrr/core/clustering.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/dataset/domain.h"
+
+namespace mdrr {
+
+// A subset S of the data domain restricted to `attributes`: the union of
+// the listed value tuples (each tuple gives one value per attribute, in
+// the same order).
+struct CountQuery {
+  std::vector<size_t> attributes;
+  std::vector<std::vector<uint32_t>> tuples;
+};
+
+class JointEstimate {
+ public:
+  virtual ~JointEstimate() = default;
+
+  // Estimated number of records in S.
+  virtual double EstimateCount(const CountQuery& query) const = 0;
+};
+
+// Exact counts on a concrete dataset; used both for ground truth X_S and
+// for the "Randomized" baseline of Figure 2 (raw counts on Y).
+class EmpiricalCounts : public JointEstimate {
+ public:
+  explicit EmpiricalCounts(Dataset dataset);
+  double EstimateCount(const CountQuery& query) const override;
+
+ private:
+  Dataset dataset_;
+};
+
+// Protocol 1 estimator: P(tuple) = Π_k π̂_k(tuple_k).
+class IndependentMarginalsEstimate : public JointEstimate {
+ public:
+  // `marginals[j]` is the estimated distribution of attribute j; `n` is
+  // the number of records the counts refer to.
+  IndependentMarginalsEstimate(std::vector<std::vector<double>> marginals,
+                               double n);
+  double EstimateCount(const CountQuery& query) const override;
+
+ private:
+  std::vector<std::vector<double>> marginals_;
+  double n_;
+};
+
+// RR-Clusters estimator: clusters are independent; within a cluster the
+// estimated joint is used (marginalized onto the queried attributes).
+class ClusterFactorizationEstimate : public JointEstimate {
+ public:
+  // `cluster_domains[k]` indexes the attributes of `clusters[k]` (in the
+  // cluster's sorted order) and `cluster_joints[k]` is the estimated
+  // distribution over that domain.
+  ClusterFactorizationEstimate(AttributeClustering clusters,
+                               std::vector<Domain> cluster_domains,
+                               std::vector<std::vector<double>> cluster_joints,
+                               double n);
+  double EstimateCount(const CountQuery& query) const override;
+
+ private:
+  AttributeClustering clusters_;
+  std::vector<Domain> cluster_domains_;
+  std::vector<std::vector<double>> cluster_joints_;
+  double n_;
+};
+
+// RR-Adjustment estimator: count = n * Σ_{records in S} w_i over the
+// *randomized* dataset Y (Algorithm 2 reweights Y, never X).
+class WeightedRecordsEstimate : public JointEstimate {
+ public:
+  // `weights` must have one entry per record of `randomized` and sum to 1.
+  WeightedRecordsEstimate(Dataset randomized, std::vector<double> weights);
+  double EstimateCount(const CountQuery& query) const override;
+
+ private:
+  Dataset randomized_;
+  std::vector<double> weights_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_JOINT_ESTIMATE_H_

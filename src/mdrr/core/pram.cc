@@ -1,0 +1,65 @@
+#include "mdrr/core/pram.h"
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/linalg/matrix.h"
+
+namespace mdrr {
+
+StatusOr<PramResult> ApplyPram(const Dataset& collected,
+                               double keep_probability, Rng& rng) {
+  if (collected.num_rows() == 0) {
+    return Status::InvalidArgument("cannot apply PRAM to empty data");
+  }
+  PramResult result;
+  result.randomized = collected;
+  const size_t m = collected.num_attributes();
+  result.estimated.resize(m);
+  result.epsilons.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    const size_t r = collected.attribute(j).cardinality();
+    RrMatrix matrix = RrMatrix::KeepUniform(r, keep_probability);
+    result.randomized.SetColumn(
+        j, matrix.RandomizeColumn(collected.column(j), rng));
+    std::vector<double> lambda =
+        EmpiricalDistribution(result.randomized.column(j), r);
+    MDRR_ASSIGN_OR_RETURN(result.estimated[j],
+                          EstimateProjectedDistribution(matrix, lambda));
+    result.epsilons[j] = matrix.Epsilon();
+  }
+  return result;
+}
+
+StatusOr<RrMatrix> InvariantPramMatrix(const RrMatrix& base,
+                                       const std::vector<double>& observed) {
+  const size_t r = base.size();
+  if (observed.size() != r) {
+    return Status::InvalidArgument("distribution size mismatch");
+  }
+  // Invariant PRAM (van den Hout / the two-stage construction): let Q be
+  // the Bayes reverse channel of `base` under prior pi = observed,
+  //   Q_uv = pi_v P_vu / (P^T pi)_u,
+  // which satisfies Q^T (P^T pi) = pi. The invariant matrix is R = P Q:
+  //   R^T pi = Q^T P^T pi = pi,
+  // so publishing data randomized by R preserves the collected marginal
+  // in expectation. Reverse rows with zero implied mass fall back to the
+  // identity row (those categories are never observed after P).
+  std::vector<double> implied(r, 0.0);
+  for (size_t u = 0; u < r; ++u) {
+    for (size_t v = 0; v < r; ++v) {
+      implied[u] += base.Prob(v, u) * observed[v];
+    }
+  }
+  linalg::Matrix reverse(r, r, 0.0);
+  for (size_t u = 0; u < r; ++u) {
+    if (implied[u] <= 0.0) {
+      reverse(u, u) = 1.0;
+      continue;
+    }
+    for (size_t v = 0; v < r; ++v) {
+      reverse(u, v) = observed[v] * base.Prob(v, u) / implied[u];
+    }
+  }
+  return RrMatrix::FromDense(base.ToDense().MatMul(reverse));
+}
+
+}  // namespace mdrr

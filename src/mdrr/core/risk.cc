@@ -1,0 +1,80 @@
+#include "mdrr/core/risk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+namespace {
+
+Status ValidatePrior(const RrMatrix& p, const std::vector<double>& prior) {
+  if (prior.size() != p.size()) {
+    return Status::InvalidArgument("prior size does not match matrix size");
+  }
+  double total = 0.0;
+  for (double x : prior) {
+    if (x < 0.0) {
+      return Status::InvalidArgument("prior has negative entries");
+    }
+    total += x;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("prior does not sum to 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<linalg::Matrix> PosteriorMatrix(const RrMatrix& p,
+                                         const std::vector<double>& prior) {
+  MDRR_RETURN_IF_ERROR(ValidatePrior(p, prior));
+  const size_t r = p.size();
+  linalg::Matrix posterior(r, r, 0.0);
+  for (size_t v = 0; v < r; ++v) {
+    double marginal = 0.0;
+    for (size_t w = 0; w < r; ++w) marginal += p.Prob(w, v) * prior[w];
+    if (marginal <= 0.0) continue;
+    for (size_t u = 0; u < r; ++u) {
+      posterior(u, v) = p.Prob(u, v) * prior[u] / marginal;
+    }
+  }
+  return posterior;
+}
+
+StatusOr<std::vector<double>> BestGuessConfidence(
+    const RrMatrix& p, const std::vector<double>& prior) {
+  MDRR_ASSIGN_OR_RETURN(linalg::Matrix posterior, PosteriorMatrix(p, prior));
+  const size_t r = p.size();
+  std::vector<double> risk(r, 0.0);
+  for (size_t v = 0; v < r; ++v) {
+    for (size_t u = 0; u < r; ++u) {
+      risk[v] = std::max(risk[v], posterior(u, v));
+    }
+  }
+  return risk;
+}
+
+StatusOr<double> ExpectedDisclosureRisk(const RrMatrix& p,
+                                        const std::vector<double>& prior) {
+  MDRR_RETURN_IF_ERROR(ValidatePrior(p, prior));
+  MDRR_ASSIGN_OR_RETURN(std::vector<double> confidence,
+                        BestGuessConfidence(p, prior));
+  const size_t r = p.size();
+  double expected = 0.0;
+  for (size_t v = 0; v < r; ++v) {
+    double lambda_v = 0.0;
+    for (size_t w = 0; w < r; ++w) lambda_v += p.Prob(w, v) * prior[w];
+    expected += lambda_v * confidence[v];
+  }
+  return expected;
+}
+
+double PriorBaselineRisk(const std::vector<double>& prior) {
+  MDRR_CHECK(!prior.empty());
+  return *std::max_element(prior.begin(), prior.end());
+}
+
+}  // namespace mdrr

@@ -1,0 +1,45 @@
+// Record-level disclosure-risk metrics for randomized response.
+//
+// Section 2.2's "intrinsic guarantee" is that an intruder seeing a
+// randomized response is uncertain about the true one. These helpers
+// quantify that uncertainty through the Bayes posterior
+//   Pr(X = u | Y = v) = p_uv pi_u / sum_w p_wv pi_w,
+// the attacker's best-guess confidence per observed value, and the
+// expected confidence over the randomized data distribution. They
+// complement the worst-case Expression (4) epsilon with average-case
+// numbers a data protection officer can read.
+
+#ifndef MDRR_CORE_RISK_H_
+#define MDRR_CORE_RISK_H_
+
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/linalg/matrix.h"
+
+namespace mdrr {
+
+// Posterior matrix: entry (u, v) = Pr(X = u | Y = v) under `prior` on X.
+// Columns over v with zero marginal probability are left all-zero.
+// Fails on size mismatch or if the prior is not a distribution.
+StatusOr<linalg::Matrix> PosteriorMatrix(const RrMatrix& p,
+                                         const std::vector<double>& prior);
+
+// Attacker's best-guess confidence for each observed value:
+// risk[v] = max_u Pr(X = u | Y = v).
+StatusOr<std::vector<double>> BestGuessConfidence(
+    const RrMatrix& p, const std::vector<double>& prior);
+
+// Expected best-guess confidence under the randomized-data distribution
+// lambda = P^T prior: the probability that a Bayes-optimal attacker who
+// always guesses the posterior mode is right about a random respondent.
+StatusOr<double> ExpectedDisclosureRisk(const RrMatrix& p,
+                                        const std::vector<double>& prior);
+
+// Baseline an attacker achieves without seeing any response: max_u pi_u.
+double PriorBaselineRisk(const std::vector<double>& prior);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_RISK_H_

@@ -1,0 +1,100 @@
+#include "mdrr/core/rr_clusters.h"
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+namespace {
+
+StatusOr<DependenceEstimate> AssessDependences(
+    const Dataset& dataset, const RrClustersOptions& options, Rng& rng) {
+  switch (options.dependence_source) {
+    case DependenceSource::kOracle:
+      return OracleDependences(dataset);
+    case DependenceSource::kRandomizedResponse:
+      return RandomizedResponseDependences(
+          dataset, options.dependence_keep_probability, rng.engine()());
+    case DependenceSource::kSecureSum:
+      return SecureSumDependences(
+          dataset, mpc::SimulationMode::kFastSimulation, rng.engine()());
+    case DependenceSource::kPairwiseRr:
+      return PairwiseRrDependences(dataset,
+                                   options.dependence_keep_probability,
+                                   mpc::SimulationMode::kFastSimulation,
+                                   rng.engine()());
+    case DependenceSource::kProvided: {
+      if (options.provided_dependences == nullptr) {
+        return Status::InvalidArgument(
+            "dependence_source is kProvided but no matrix was supplied");
+      }
+      DependenceEstimate estimate;
+      estimate.dependences = *options.provided_dependences;
+      estimate.epsilon = 0.0;
+      estimate.messages = 0;
+      return estimate;
+    }
+  }
+  return Status::Internal("unknown dependence source");
+}
+
+}  // namespace
+
+StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
+                                         const RrClustersOptions& options,
+                                         Rng& rng) {
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("cannot run RR-Clusters on empty data");
+  }
+
+  MDRR_ASSIGN_OR_RETURN(DependenceEstimate dependences,
+                        AssessDependences(dataset, options, rng));
+  MDRR_ASSIGN_OR_RETURN(
+      AttributeClustering clusters,
+      ClusterAttributes(dataset, dependences.dependences,
+                        options.clustering));
+
+  RrClustersResult result;
+  result.clusters = clusters;
+  result.dependences = dependences.dependences;
+  result.dependence_epsilon = dependences.epsilon;
+  result.randomized = dataset;
+
+  for (const std::vector<size_t>& cluster : clusters) {
+    double budget =
+        ClusterEpsilonBudget(dataset, cluster, options.keep_probability,
+                             options.use_paper_epsilon_formula);
+    MDRR_ASSIGN_OR_RETURN(RrJointResult joint,
+                          RunRrJoint(dataset, cluster, budget, rng));
+    result.release_epsilon += joint.epsilon;
+
+    // Decode the composite randomized codes back into per-attribute
+    // columns of Y.
+    for (size_t position = 0; position < cluster.size(); ++position) {
+      std::vector<uint32_t> column(dataset.num_rows());
+      for (size_t row = 0; row < column.size(); ++row) {
+        column[row] =
+            joint.domain.DecodeAt(joint.randomized_codes[row], position);
+      }
+      result.randomized.SetColumn(cluster[position], std::move(column));
+    }
+    result.cluster_results.push_back(std::move(joint));
+  }
+  return result;
+}
+
+ClusterFactorizationEstimate MakeClusterEstimate(
+    const RrClustersResult& result) {
+  std::vector<Domain> domains;
+  std::vector<std::vector<double>> joints;
+  domains.reserve(result.cluster_results.size());
+  joints.reserve(result.cluster_results.size());
+  for (const RrJointResult& r : result.cluster_results) {
+    domains.push_back(r.domain);
+    joints.push_back(r.estimated);
+  }
+  return ClusterFactorizationEstimate(
+      result.clusters, std::move(domains), std::move(joints),
+      static_cast<double>(result.randomized.num_rows()));
+}
+
+}  // namespace mdrr

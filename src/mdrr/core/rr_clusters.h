@@ -1,0 +1,72 @@
+// RR-Clusters (Section 4): assess attribute dependences with one of the
+// privacy-preserving estimators, partition the attributes with Algorithm
+// 1, then run RR-Joint within each cluster at the Section 6.3.2
+// equivalent-risk calibration.
+
+#ifndef MDRR_CORE_RR_CLUSTERS_H_
+#define MDRR_CORE_RR_CLUSTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/clustering.h"
+#include "mdrr/core/dependence_estimators.h"
+#include "mdrr/core/joint_estimate.h"
+#include "mdrr/core/rr_joint.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+enum class DependenceSource {
+  kOracle,              // Trusted-party dependences (baseline).
+  kRandomizedResponse,  // Section 4.1.
+  kSecureSum,           // Section 4.2.
+  kPairwiseRr,          // Section 4.3.
+  kProvided,            // Caller-supplied matrix (hoisted computation).
+};
+
+struct RrClustersOptions {
+  // Per-attribute keep probability p; the cluster budget is the sum of
+  // the per-attribute epsilons (Section 6.3.2).
+  double keep_probability = 0.7;
+  ClusteringOptions clustering;
+  DependenceSource dependence_source = DependenceSource::kOracle;
+  // Required iff dependence_source == kProvided; not owned.
+  const linalg::Matrix* provided_dependences = nullptr;
+  // Keep probability of the dependence-assessment round (Sections 4.1 and
+  // 4.3).
+  double dependence_keep_probability = 0.7;
+  // Use the paper's printed epsilon formula for calibration instead of
+  // the exact Expression (4) value (see DESIGN.md).
+  bool use_paper_epsilon_formula = false;
+};
+
+struct RrClustersResult {
+  AttributeClustering clusters;
+  std::vector<RrJointResult> cluster_results;
+  // Y: the randomized data decoded back to per-attribute columns.
+  Dataset randomized;
+  // Epsilon of the data release (sequential composition over clusters).
+  double release_epsilon = 0.0;
+  // Epsilon spent assessing dependences (0 for oracle/provided).
+  double dependence_epsilon = 0.0;
+  // The dependence matrix actually used for clustering.
+  linalg::Matrix dependences;
+};
+
+// Runs the full RR-Clusters protocol. Fails on empty data or if a
+// dependence estimator fails.
+StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
+                                         const RrClustersOptions& options,
+                                         Rng& rng);
+
+// The RR-Clusters joint-query estimator (independent clusters, estimated
+// joint within each cluster).
+ClusterFactorizationEstimate MakeClusterEstimate(
+    const RrClustersResult& result);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_RR_CLUSTERS_H_

@@ -1,0 +1,43 @@
+#include "mdrr/core/rr_independent.h"
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_matrix.h"
+
+namespace mdrr {
+
+StatusOr<RrIndependentResult> RunRrIndependent(
+    const Dataset& dataset, const RrIndependentOptions& options, Rng& rng) {
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("cannot run RR-Independent on empty data");
+  }
+  const size_t m = dataset.num_attributes();
+  RrIndependentResult result;
+  result.randomized = dataset;
+  result.lambda.resize(m);
+  result.raw_estimated.resize(m);
+  result.estimated.resize(m);
+  result.epsilons.resize(m);
+
+  for (size_t j = 0; j < m; ++j) {
+    const size_t r = dataset.attribute(j).cardinality();
+    RrMatrix matrix = RrMatrix::KeepUniform(r, options.keep_probability);
+    result.randomized.SetColumn(
+        j, matrix.RandomizeColumn(dataset.column(j), rng));
+    result.lambda[j] =
+        EmpiricalDistribution(result.randomized.column(j), r);
+    MDRR_ASSIGN_OR_RETURN(result.raw_estimated[j],
+                          EstimateDistribution(matrix, result.lambda[j]));
+    result.estimated[j] = ProjectToSimplex(result.raw_estimated[j]);
+    result.epsilons[j] = matrix.Epsilon();
+    result.total_epsilon += result.epsilons[j];
+  }
+  return result;
+}
+
+IndependentMarginalsEstimate MakeIndependentEstimate(
+    const RrIndependentResult& result) {
+  return IndependentMarginalsEstimate(
+      result.estimated, static_cast<double>(result.randomized.num_rows()));
+}
+
+}  // namespace mdrr

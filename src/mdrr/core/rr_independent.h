@@ -1,0 +1,50 @@
+// Protocol 1 (RR-Independent, Section 3.1): each party randomizes every
+// attribute independently with a KeepUniform matrix; the controller
+// estimates each marginal with Eq. (2) and treats attributes as
+// independent when answering joint queries.
+
+#ifndef MDRR_CORE_RR_INDEPENDENT_H_
+#define MDRR_CORE_RR_INDEPENDENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/joint_estimate.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+struct RrIndependentOptions {
+  // The keep probability p of each per-attribute KeepUniform matrix
+  // (Section 6.3.1 design).
+  double keep_probability = 0.7;
+};
+
+struct RrIndependentResult {
+  // Y: the published randomized data set.
+  Dataset randomized;
+  // λ̂_j: empirical distribution of each randomized attribute.
+  std::vector<std::vector<double>> lambda;
+  // Raw Eq. (2) estimates (may leave the simplex).
+  std::vector<std::vector<double>> raw_estimated;
+  // Section 6.4 projected estimates π̂_j (proper distributions).
+  std::vector<std::vector<double>> estimated;
+  // Exact Expression (4) epsilon of each attribute's matrix.
+  std::vector<double> epsilons;
+  // Sequential composition over attributes.
+  double total_epsilon = 0.0;
+};
+
+// Runs Protocol 1. Fails on an empty dataset.
+StatusOr<RrIndependentResult> RunRrIndependent(
+    const Dataset& dataset, const RrIndependentOptions& options, Rng& rng);
+
+// The Protocol 1 joint-query estimator (product of estimated marginals).
+IndependentMarginalsEstimate MakeIndependentEstimate(
+    const RrIndependentResult& result);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_RR_INDEPENDENT_H_

@@ -1,0 +1,52 @@
+#include "mdrr/core/rr_joint.h"
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/privacy.h"
+#include "mdrr/core/rr_matrix.h"
+
+namespace mdrr {
+
+double ClusterEpsilonBudget(const Dataset& dataset,
+                            const std::vector<size_t>& attributes,
+                            double keep_probability, bool use_paper_formula) {
+  double total = 0.0;
+  for (size_t j : attributes) {
+    size_t r = dataset.attribute(j).cardinality();
+    total += use_paper_formula ? PaperKeepUniformEpsilon(r, keep_probability)
+                               : KeepUniformEpsilon(r, keep_probability);
+  }
+  return total;
+}
+
+StatusOr<RrJointResult> RunRrJoint(const Dataset& dataset,
+                                   const std::vector<size_t>& attributes,
+                                   double epsilon, Rng& rng) {
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("cannot run RR-Joint on empty data");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("RR-Joint needs at least one attribute");
+  }
+  Domain domain = Domain::ForAttributes(dataset, attributes);
+  if (domain.size() > (1ull << 31)) {
+    return Status::OutOfRange(
+        "joint domain has " + std::to_string(domain.size()) +
+        " categories; too large to materialize (the curse of "
+        "dimensionality of Section 3.2)");
+  }
+  const size_t r = static_cast<size_t>(domain.size());
+  RrMatrix matrix = RrMatrix::OptimalForEpsilon(r, epsilon);
+
+  std::vector<uint32_t> true_codes = domain.ComposeColumns(dataset, attributes);
+
+  RrJointResult result{attributes, domain, {}, {}, {}, {}, 0.0};
+  result.randomized_codes = matrix.RandomizeColumn(true_codes, rng);
+  result.lambda = EmpiricalDistribution(result.randomized_codes, r);
+  MDRR_ASSIGN_OR_RETURN(result.raw_estimated,
+                        EstimateDistribution(matrix, result.lambda));
+  result.estimated = ProjectToSimplex(result.raw_estimated);
+  result.epsilon = matrix.Epsilon();
+  return result;
+}
+
+}  // namespace mdrr

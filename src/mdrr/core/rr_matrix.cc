@@ -1,0 +1,214 @@
+#include "mdrr/core/rr_matrix.h"
+
+#include <cmath>
+#include <limits>
+
+#include "mdrr/common/check.h"
+#include "mdrr/linalg/lu.h"
+
+namespace mdrr {
+
+RrMatrix::RrMatrix(size_t size, linalg::UniformMixture structured)
+    : size_(size), structured_(structured) {}
+
+RrMatrix::RrMatrix(size_t size, linalg::Matrix dense)
+    : size_(size), dense_(std::move(dense)) {
+  row_samplers_.reserve(size_);
+  for (size_t u = 0; u < size_; ++u) {
+    row_samplers_.emplace_back(dense_->Row(u));
+  }
+}
+
+RrMatrix RrMatrix::KeepUniform(size_t r, double keep_probability) {
+  MDRR_CHECK_GE(r, 1u);
+  MDRR_CHECK_GE(keep_probability, 0.0);
+  MDRR_CHECK_LE(keep_probability, 1.0);
+  double rd = static_cast<double>(r);
+  double off = (1.0 - keep_probability) / rd;
+  return RrMatrix(
+      r, linalg::UniformMixture{r, keep_probability + off, off});
+}
+
+RrMatrix RrMatrix::FlatOffDiagonal(size_t r, double diagonal_p) {
+  MDRR_CHECK_GE(r, 2u);
+  MDRR_CHECK_GE(diagonal_p, 0.0);
+  MDRR_CHECK_LE(diagonal_p, 1.0);
+  double off = (1.0 - diagonal_p) / static_cast<double>(r - 1);
+  return RrMatrix(r, linalg::UniformMixture{r, diagonal_p, off});
+}
+
+RrMatrix RrMatrix::OptimalForEpsilon(size_t r, double epsilon) {
+  MDRR_CHECK_GE(r, 1u);
+  MDRR_CHECK_GE(epsilon, 0.0);
+  double rd = static_cast<double>(r);
+  double decay = std::exp(-epsilon);
+  double diagonal = 1.0 / (1.0 + (rd - 1.0) * decay);
+  return RrMatrix(r, linalg::UniformMixture{r, diagonal, diagonal * decay});
+}
+
+RrMatrix RrMatrix::Identity(size_t r) {
+  MDRR_CHECK_GE(r, 1u);
+  return RrMatrix(r, linalg::UniformMixture{r, 1.0, 0.0});
+}
+
+RrMatrix RrMatrix::UniformReplacement(size_t r) {
+  MDRR_CHECK_GE(r, 1u);
+  double uniform = 1.0 / static_cast<double>(r);
+  return RrMatrix(r, linalg::UniformMixture{r, uniform, uniform});
+}
+
+RrMatrix RrMatrix::GeometricOrdinal(size_t r, double epsilon) {
+  MDRR_CHECK_GE(r, 2u);
+  MDRR_CHECK_GT(epsilon, 0.0);
+  // Unnormalized weights decay geometrically in the ordinal distance,
+  // scaled so the full-range ratio is exactly e^{epsilon}; row
+  // normalization preserves every within-column ratio bound because all
+  // rows share the same decay profile up to shift.
+  double decay = std::exp(-epsilon / static_cast<double>(r - 1));
+  linalg::Matrix dense(r, r, 0.0);
+  for (size_t u = 0; u < r; ++u) {
+    double row_sum = 0.0;
+    for (size_t v = 0; v < r; ++v) {
+      size_t distance = u > v ? u - v : v - u;
+      dense(u, v) = std::pow(decay, static_cast<double>(distance));
+      row_sum += dense(u, v);
+    }
+    for (size_t v = 0; v < r; ++v) dense(u, v) /= row_sum;
+  }
+  auto result = FromDense(std::move(dense));
+  MDRR_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+StatusOr<RrMatrix> RrMatrix::FromDense(linalg::Matrix p) {
+  if (p.rows() != p.cols() || p.rows() == 0) {
+    return Status::InvalidArgument("RR matrix must be square and nonempty");
+  }
+  if (!p.IsRowStochastic(1e-9)) {
+    return Status::InvalidArgument(
+        "RR matrix rows must be nonnegative and sum to 1");
+  }
+  // Prefer the structured representation when the shape allows it.
+  auto structured = linalg::DetectUniformMixture(p, 1e-12);
+  if (structured.ok()) {
+    return RrMatrix(p.rows(), structured.value());
+  }
+  size_t n = p.rows();
+  return RrMatrix(n, std::move(p));
+}
+
+double RrMatrix::Prob(size_t u, size_t v) const {
+  MDRR_CHECK_LT(u, size_);
+  MDRR_CHECK_LT(v, size_);
+  if (structured_) {
+    return u == v ? structured_->diagonal : structured_->off_diagonal;
+  }
+  return (*dense_)(u, v);
+}
+
+linalg::Matrix RrMatrix::ToDense() const {
+  if (structured_) return structured_->ToDense();
+  return *dense_;
+}
+
+uint32_t RrMatrix::Randomize(uint32_t u, Rng& rng) const {
+  MDRR_CHECK_LT(u, size_);
+  if (structured_) {
+    // Row = (1 - alpha) delta_u + alpha Uniform(r) with
+    // alpha = r * off_diagonal.
+    double alpha = static_cast<double>(size_) * structured_->off_diagonal;
+    if (rng.Bernoulli(alpha)) {
+      return static_cast<uint32_t>(rng.UniformInt(size_));
+    }
+    return u;
+  }
+  return static_cast<uint32_t>(row_samplers_[u].Sample(rng));
+}
+
+std::vector<uint32_t> RrMatrix::RandomizeColumn(
+    const std::vector<uint32_t>& codes, Rng& rng) const {
+  std::vector<uint32_t> result(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    result[i] = Randomize(codes[i], rng);
+  }
+  return result;
+}
+
+double RrMatrix::Epsilon() const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (structured_) {
+    if (size_ == 1) return 0.0;
+    double hi = std::max(structured_->diagonal, structured_->off_diagonal);
+    double lo = std::min(structured_->diagonal, structured_->off_diagonal);
+    if (hi == lo) return 0.0;
+    if (lo <= 0.0) return kInf;
+    return std::log(hi / lo);
+  }
+  double worst_ratio = 1.0;
+  for (size_t v = 0; v < size_; ++v) {
+    double hi = 0.0;
+    double lo = kInf;
+    for (size_t u = 0; u < size_; ++u) {
+      double p = (*dense_)(u, v);
+      hi = std::max(hi, p);
+      lo = std::min(lo, p);
+    }
+    if (hi == 0.0) continue;  // All-zero column constrains nothing.
+    if (lo <= 0.0) return kInf;
+    worst_ratio = std::max(worst_ratio, hi / lo);
+  }
+  return std::log(worst_ratio);
+}
+
+double RrMatrix::ConditionNumber() const {
+  if (structured_) {
+    double min_eig = structured_->MinEigenvalue();
+    if (min_eig <= 0.0) return std::numeric_limits<double>::infinity();
+    return structured_->MaxEigenvalue() / min_eig;
+  }
+  // Power iteration on PᵀP for the largest singular value; inverse power
+  // iteration (via LU solves on PᵀP) for the smallest.
+  const linalg::Matrix& p = *dense_;
+  linalg::Matrix pt = p.Transpose();
+  linalg::Matrix gram = pt.MatMul(p);
+  std::vector<double> v(size_, 1.0 / std::sqrt(static_cast<double>(size_)));
+  double sigma_max_sq = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> w = gram.MatVec(v);
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;
+    for (size_t i = 0; i < size_; ++i) v[i] = w[i] / norm;
+    sigma_max_sq = norm;
+  }
+  auto lu = linalg::LuDecomposition::Factor(gram);
+  if (!lu.ok()) return std::numeric_limits<double>::infinity();
+  std::vector<double> u(size_, 1.0 / std::sqrt(static_cast<double>(size_)));
+  double inv_sigma_min_sq = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> w = lu.value().Solve(u);
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;
+    for (size_t i = 0; i < size_; ++i) u[i] = w[i] / norm;
+    inv_sigma_min_sq = norm;
+  }
+  if (inv_sigma_min_sq == 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(sigma_max_sq * inv_sigma_min_sq);
+}
+
+StatusOr<std::vector<double>> RrMatrix::SolveTranspose(
+    const std::vector<double>& b) const {
+  if (b.size() != size_) {
+    return Status::InvalidArgument("vector size does not match matrix size");
+  }
+  if (structured_) {
+    // Structured matrices are symmetric, so Pᵀ = P.
+    return structured_->ApplyInverse(b);
+  }
+  return linalg::SolveLinearSystem(dense_->Transpose(), b);
+}
+
+}  // namespace mdrr

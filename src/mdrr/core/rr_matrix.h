@@ -1,0 +1,112 @@
+// Randomization matrices for randomized response (Section 2.1).
+//
+// An RrMatrix is an r x r row-stochastic matrix P with
+// p_uv = Pr(Y = v | X = u). Every matrix used in the paper has the
+// "uniform mixture" shape p_u I + p_d (J - I) (Section 2.3), for which
+// randomization, inversion and eigenvalues all have O(1)/O(r) closed
+// forms; a dense fallback supports arbitrary designs.
+
+#ifndef MDRR_CORE_RR_MATRIX_H_
+#define MDRR_CORE_RR_MATRIX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/linalg/matrix.h"
+#include "mdrr/linalg/structured.h"
+#include "mdrr/rng/alias_sampler.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+class RrMatrix {
+ public:
+  // --- Structured constructors (uniform-mixture shape) ---
+
+  // "Keep with probability p, otherwise report a uniform draw from the
+  // whole domain": diagonal p + (1-p)/r, off-diagonal (1-p)/r. This is the
+  // randomization of Proposition 1 / Corollary 1 and the per-attribute
+  // design of Section 6.3.1.
+  static RrMatrix KeepUniform(size_t r, double keep_probability);
+
+  // Classic generalized-Warner design: `diagonal_p` on the diagonal and
+  // (1 - diagonal_p)/(r - 1) off it.
+  static RrMatrix FlatOffDiagonal(size_t r, double diagonal_p);
+
+  // The differential-privacy-optimal design at level `epsilon` (Sections
+  // 2.2/6.3.2; k-ary randomized response): diagonal
+  // p = 1 / (1 + (r - 1) e^{-eps}), off-diagonal p e^{-eps}.
+  static RrMatrix OptimalForEpsilon(size_t r, double epsilon);
+
+  // Degenerate designs, useful as baselines and in tests.
+  static RrMatrix Identity(size_t r);            // No randomization.
+  static RrMatrix UniformReplacement(size_t r);  // Output independent of X.
+
+  // Distance-sensitive design for ordinal attributes (the paper's
+  // Section 8 future-work direction): a geometric/staircase mechanism
+  // with p_uv proportional to exp(-epsilon |u - v| / (r - 1)), rows
+  // normalized. Its Expression (4) epsilon is exactly `epsilon`, but the
+  // protection is *graded by distance* (metric-privacy style): adjacent
+  // categories are indistinguishable up to e^{epsilon/(r-1)} while only
+  // the extreme pair reaches e^{epsilon}. At equal adjacent-category
+  // protection this design reports values much closer to the truth than
+  // KeepUniform; at equal worst-case epsilon, KeepUniform keeps the exact
+  // value more often. Pick by the privacy contract you need.
+  static RrMatrix GeometricOrdinal(size_t r, double epsilon);
+
+  // --- Dense constructor ---
+
+  // Arbitrary design. Fails unless `p` is square, row-stochastic and
+  // nonnegative (tolerance 1e-9).
+  static StatusOr<RrMatrix> FromDense(linalg::Matrix p);
+
+  size_t size() const { return size_; }
+  bool is_structured() const { return structured_.has_value(); }
+
+  // p_uv = Pr(Y = v | X = u).
+  double Prob(size_t u, size_t v) const;
+
+  // Dense materialization (tests, generic code paths).
+  linalg::Matrix ToDense() const;
+
+  // Draws Y given X = u. O(1) for structured matrices (one Bernoulli plus
+  // at most one uniform draw), O(1) via alias tables for dense ones.
+  uint32_t Randomize(uint32_t u, Rng& rng) const;
+
+  // Vectorized Randomize over a whole column of codes.
+  std::vector<uint32_t> RandomizeColumn(const std::vector<uint32_t>& codes,
+                                        Rng& rng) const;
+
+  // The differential privacy level of Expression (4):
+  // eps = ln max_v (max_u p_uv / min_u p_uv). +inf if any column contains
+  // a zero below a positive entry.
+  double Epsilon() const;
+
+  // Pmax / Pmin: the eigenvalue-ratio error-propagation bound of
+  // Section 2.3. Closed form for structured matrices; dense matrices
+  // fall back to the ratio of extreme singular-value estimates obtained
+  // by power iteration.
+  double ConditionNumber() const;
+
+  // Solves Pᵀ x = b -- the core of the Eq. (2) estimator. O(r) for
+  // structured matrices, O(r³) LU for dense ones. Fails on singular P.
+  StatusOr<std::vector<double>> SolveTranspose(
+      const std::vector<double>& b) const;
+
+ private:
+  RrMatrix(size_t size, linalg::UniformMixture structured);
+  RrMatrix(size_t size, linalg::Matrix dense);
+
+  size_t size_;
+  // Exactly one of the two representations is active.
+  std::optional<linalg::UniformMixture> structured_;
+  std::optional<linalg::Matrix> dense_;
+  // Alias samplers per row (dense representation only).
+  std::vector<AliasSampler> row_samplers_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_RR_MATRIX_H_

@@ -1,0 +1,162 @@
+#include "mdrr/core/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mdrr/common/string_util.h"
+#include "mdrr/dataset/domain.h"
+
+namespace mdrr {
+
+ClusterEstimates EstimatesFromResult(const RrClustersResult& result) {
+  ClusterEstimates estimates;
+  estimates.num_attributes = result.randomized.num_attributes();
+  estimates.num_records = static_cast<double>(result.randomized.num_rows());
+  estimates.clusters = result.clusters;
+  for (const RrJointResult& joint : result.cluster_results) {
+    estimates.joints.push_back(joint.estimated);
+  }
+  return estimates;
+}
+
+Status WriteClusterEstimates(const ClusterEstimates& estimates,
+                             const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  file << "mdrr-estimates v1\n";
+  file << "attributes " << estimates.num_attributes << "\n";
+  file << "n " << estimates.num_records << "\n";
+  file << "clusters " << estimates.clusters.size() << "\n";
+  for (const std::vector<size_t>& cluster : estimates.clusters) {
+    file << "cluster";
+    for (size_t j : cluster) file << ' ' << j;
+    file << "\n";
+  }
+  char buf[32];
+  for (const std::vector<double>& joint : estimates.joints) {
+    file << "joint";
+    for (double p : joint) {
+      std::snprintf(buf, sizeof(buf), " %.17g", p);
+      file << buf;
+    }
+    file << "\n";
+  }
+  if (!file.good()) {
+    return Status::IoError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<ClusterEstimates> ReadClusterEstimates(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(file, line) ||
+      StripWhitespace(line) != "mdrr-estimates v1") {
+    return Status::InvalidArgument("bad header in '" + path + "'");
+  }
+
+  ClusterEstimates estimates;
+  size_t num_clusters = 0;
+  // attributes / n / clusters header lines.
+  for (int header = 0; header < 3; ++header) {
+    if (!std::getline(file, line)) {
+      return Status::InvalidArgument("truncated estimates file");
+    }
+    std::istringstream stream{std::string(StripWhitespace(line))};
+    std::string key;
+    stream >> key;
+    if (key == "attributes") {
+      stream >> estimates.num_attributes;
+    } else if (key == "n") {
+      stream >> estimates.num_records;
+    } else if (key == "clusters") {
+      stream >> num_clusters;
+    } else {
+      return Status::InvalidArgument("unexpected line: " + line);
+    }
+    if (stream.fail()) {
+      return Status::InvalidArgument("malformed line: " + line);
+    }
+  }
+
+  for (size_t c = 0; c < num_clusters; ++c) {
+    if (!std::getline(file, line)) {
+      return Status::InvalidArgument("missing cluster line");
+    }
+    std::istringstream stream{std::string(StripWhitespace(line))};
+    std::string key;
+    stream >> key;
+    if (key != "cluster") {
+      return Status::InvalidArgument("expected cluster line, got: " + line);
+    }
+    std::vector<size_t> cluster;
+    size_t index;
+    while (stream >> index) {
+      if (index >= estimates.num_attributes) {
+        return Status::InvalidArgument("cluster index out of range");
+      }
+      cluster.push_back(index);
+    }
+    if (cluster.empty()) {
+      return Status::InvalidArgument("empty cluster");
+    }
+    estimates.clusters.push_back(std::move(cluster));
+  }
+
+  for (size_t c = 0; c < num_clusters; ++c) {
+    if (!std::getline(file, line)) {
+      return Status::InvalidArgument("missing joint line");
+    }
+    std::istringstream stream{std::string(StripWhitespace(line))};
+    std::string key;
+    stream >> key;
+    if (key != "joint") {
+      return Status::InvalidArgument("expected joint line, got: " + line);
+    }
+    std::vector<double> joint;
+    double p;
+    while (stream >> p) joint.push_back(p);
+    if (joint.empty()) {
+      return Status::InvalidArgument("empty joint distribution");
+    }
+    estimates.joints.push_back(std::move(joint));
+  }
+  return estimates;
+}
+
+StatusOr<ClusterFactorizationEstimate> MakeEstimateFromSerialized(
+    const ClusterEstimates& estimates, const Dataset& schema_source) {
+  if (estimates.num_attributes != schema_source.num_attributes()) {
+    return Status::InvalidArgument(
+        "estimates were computed for a different attribute count");
+  }
+  if (estimates.clusters.size() != estimates.joints.size()) {
+    return Status::InvalidArgument("cluster/joint count mismatch");
+  }
+  if (estimates.num_records <= 0) {
+    return Status::InvalidArgument("non-positive record count");
+  }
+  std::vector<Domain> domains;
+  for (size_t c = 0; c < estimates.clusters.size(); ++c) {
+    Domain domain =
+        Domain::ForAttributes(schema_source, estimates.clusters[c]);
+    if (domain.size() != estimates.joints[c].size()) {
+      return Status::InvalidArgument(
+          "joint size does not match cluster domain (cluster " +
+          std::to_string(c) + ")");
+    }
+    domains.push_back(std::move(domain));
+  }
+  return ClusterFactorizationEstimate(estimates.clusters, std::move(domains),
+                                      estimates.joints,
+                                      estimates.num_records);
+}
+
+}  // namespace mdrr

@@ -1,0 +1,52 @@
+// Plain-text serialization of estimation artifacts, so the controller
+// can persist what a protocol run produced (clusters + estimated joint
+// distributions) and analysts can answer count queries later without
+// re-running anything. Format (line-oriented, versioned):
+//
+//   mdrr-estimates v1
+//   attributes <m>
+//   n <records>
+//   clusters <k>
+//   cluster <j1> <j2> ...          (k lines, sorted attribute indices)
+//   joint <p1> <p2> ...            (k lines, cluster-domain order)
+
+#ifndef MDRR_CORE_SERIALIZATION_H_
+#define MDRR_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/joint_estimate.h"
+#include "mdrr/core/rr_clusters.h"
+
+namespace mdrr {
+
+// The persisted form of an RR-Clusters estimation result.
+struct ClusterEstimates {
+  size_t num_attributes = 0;
+  double num_records = 0;
+  AttributeClustering clusters;
+  std::vector<std::vector<double>> joints;  // One per cluster.
+};
+
+// Extracts the persistable part of a protocol result.
+ClusterEstimates EstimatesFromResult(const RrClustersResult& result);
+
+// Writes to `path`. Fails on I/O errors.
+Status WriteClusterEstimates(const ClusterEstimates& estimates,
+                             const std::string& path);
+
+// Reads back; validates the header, counts and distribution lengths
+// against each other (cardinalities are recovered from the dataset schema
+// at query time, see MakeEstimateFromSerialized).
+StatusOr<ClusterEstimates> ReadClusterEstimates(const std::string& path);
+
+// Rebuilds a count-query estimator from persisted estimates plus the
+// schema they were computed against. Fails if the clustering or joint
+// sizes are inconsistent with the schema.
+StatusOr<ClusterFactorizationEstimate> MakeEstimateFromSerialized(
+    const ClusterEstimates& estimates, const Dataset& schema_source);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_SERIALIZATION_H_

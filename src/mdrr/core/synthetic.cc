@@ -1,0 +1,105 @@
+#include "mdrr/core/synthetic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+namespace {
+
+// Expands apportioned counts into a shuffled column of codes.
+std::vector<uint32_t> ExpandAndShuffle(const std::vector<int64_t>& counts,
+                                       int64_t n, Rng& rng) {
+  std::vector<uint32_t> column;
+  column.reserve(static_cast<size_t>(n));
+  for (size_t code = 0; code < counts.size(); ++code) {
+    for (int64_t k = 0; k < counts[code]; ++k) {
+      column.push_back(static_cast<uint32_t>(code));
+    }
+  }
+  std::shuffle(column.begin(), column.end(), rng.engine());
+  return column;
+}
+
+}  // namespace
+
+std::vector<int64_t> ApportionCounts(const std::vector<double>& distribution,
+                                     int64_t n) {
+  MDRR_CHECK(!distribution.empty());
+  MDRR_CHECK_GE(n, 0);
+  std::vector<double> mass(distribution.size());
+  double total = 0.0;
+  for (size_t i = 0; i < distribution.size(); ++i) {
+    mass[i] = std::max(0.0, distribution[i]);
+    total += mass[i];
+  }
+  std::vector<int64_t> counts(distribution.size(), 0);
+  if (total <= 0.0 || n == 0) {
+    // Nothing to apportion; spread evenly for total <= 0 with n > 0.
+    if (n > 0) {
+      for (int64_t k = 0; k < n; ++k) {
+        ++counts[static_cast<size_t>(k) % counts.size()];
+      }
+    }
+    return counts;
+  }
+
+  // Floor of the exact quota, then distribute the leftover records to the
+  // largest fractional remainders (deterministic ties by index).
+  std::vector<double> remainders(distribution.size());
+  int64_t assigned = 0;
+  for (size_t i = 0; i < mass.size(); ++i) {
+    double quota = mass[i] / total * static_cast<double>(n);
+    counts[i] = static_cast<int64_t>(quota);
+    remainders[i] = quota - static_cast<double>(counts[i]);
+    assigned += counts[i];
+  }
+  std::vector<size_t> order(mass.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (remainders[a] != remainders[b]) return remainders[a] > remainders[b];
+    return a < b;
+  });
+  for (int64_t k = 0; k < n - assigned; ++k) {
+    ++counts[order[static_cast<size_t>(k) % order.size()]];
+  }
+  return counts;
+}
+
+StatusOr<Dataset> SynthesizeFromIndependent(const RrIndependentResult& result,
+                                            int64_t n, Rng& rng) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  const Dataset& source = result.randomized;
+  std::vector<std::vector<uint32_t>> columns(source.num_attributes());
+  for (size_t j = 0; j < source.num_attributes(); ++j) {
+    std::vector<int64_t> counts = ApportionCounts(result.estimated[j], n);
+    columns[j] = ExpandAndShuffle(counts, n, rng);
+  }
+  return Dataset(source.schema(), std::move(columns));
+}
+
+StatusOr<Dataset> SynthesizeFromClusters(const RrClustersResult& result,
+                                         int64_t n, Rng& rng) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  const Dataset& source = result.randomized;
+  std::vector<std::vector<uint32_t>> columns(source.num_attributes());
+
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    const RrJointResult& joint = result.cluster_results[c];
+    std::vector<int64_t> counts = ApportionCounts(joint.estimated, n);
+    std::vector<uint32_t> composite = ExpandAndShuffle(counts, n, rng);
+    for (size_t position = 0; position < result.clusters[c].size();
+         ++position) {
+      std::vector<uint32_t> column(composite.size());
+      for (size_t row = 0; row < composite.size(); ++row) {
+        column[row] = joint.domain.DecodeAt(composite[row], position);
+      }
+      columns[result.clusters[c][position]] = std::move(column);
+    }
+  }
+  return Dataset(source.schema(), std::move(columns));
+}
+
+}  // namespace mdrr

@@ -1,0 +1,40 @@
+// Synthetic microdata release (Introduction / Section 3.2): re-create a
+// data set by "repeating each combination of attribute values as many
+// times as dictated by its frequency in the estimated joint distribution".
+// Counts are apportioned deterministically by largest remainder; record
+// order is shuffled so that cross-group independence is not distorted by
+// sorting artifacts.
+
+#ifndef MDRR_CORE_SYNTHETIC_H_
+#define MDRR_CORE_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+// Largest-remainder apportionment of `n` records over `distribution`
+// (entries clamped at 0 and renormalized if needed). The result sums to n.
+std::vector<int64_t> ApportionCounts(const std::vector<double>& distribution,
+                                     int64_t n);
+
+// Synthetic data from RR-Independent estimates: each attribute column is
+// apportioned from its estimated marginal and shuffled independently.
+StatusOr<Dataset> SynthesizeFromIndependent(const RrIndependentResult& result,
+                                            int64_t n, Rng& rng);
+
+// Synthetic data from RR-Clusters estimates: each cluster's composite
+// column is apportioned from the estimated cluster joint, shuffled, and
+// decoded into the cluster's attributes; clusters are independent.
+StatusOr<Dataset> SynthesizeFromClusters(const RrClustersResult& result,
+                                         int64_t n, Rng& rng);
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_SYNTHETIC_H_

@@ -1,0 +1,40 @@
+// Categorical attribute metadata: a name, a measurement type, and the
+// ordered list of category labels. Category *codes* (uint32_t indices into
+// `categories`) are what Dataset stores.
+
+#ifndef MDRR_DATASET_ATTRIBUTE_H_
+#define MDRR_DATASET_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdrr {
+
+// The paper's dependence-measure selection (Section 4) keys off this:
+// ordinal pairs use |Pearson r| on the codes, anything involving a nominal
+// attribute uses Cramér's V.
+enum class AttributeType {
+  kNominal,
+  kOrdinal,
+};
+
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kNominal;
+  std::vector<std::string> categories;
+
+  size_t cardinality() const { return categories.size(); }
+
+  // Index of `label` in categories, or -1 if absent.
+  int FindCategory(const std::string& label) const {
+    for (size_t i = 0; i < categories.size(); ++i) {
+      if (categories[i] == label) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_DATASET_ATTRIBUTE_H_

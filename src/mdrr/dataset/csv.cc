@@ -1,0 +1,112 @@
+#include "mdrr/dataset/csv.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "mdrr/common/string_util.h"
+
+namespace mdrr {
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvRows(
+    const std::string& path, char delimiter) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(file, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> fields = Split(stripped, delimiter);
+    for (std::string& field : fields) {
+      field = std::string(StripWhitespace(field));
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+StatusOr<Dataset> DatasetFromRows(
+    const std::vector<std::vector<std::string>>& rows,
+    const std::vector<std::string>& column_names) {
+  const size_t num_cols = column_names.size();
+  std::vector<Attribute> schema(num_cols);
+  std::vector<std::map<std::string, uint32_t>> vocab(num_cols);
+  std::vector<std::vector<uint32_t>> columns(num_cols);
+
+  for (size_t j = 0; j < num_cols; ++j) {
+    schema[j].name = column_names[j];
+    schema[j].type = AttributeType::kNominal;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != num_cols) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(i) + " has " +
+          std::to_string(rows[i].size()) + " fields, expected " +
+          std::to_string(num_cols));
+    }
+    for (size_t j = 0; j < num_cols; ++j) {
+      auto [it, inserted] = vocab[j].try_emplace(
+          rows[i][j], static_cast<uint32_t>(schema[j].categories.size()));
+      if (inserted) schema[j].categories.push_back(rows[i][j]);
+      columns[j].push_back(it->second);
+    }
+  }
+  return Dataset(std::move(schema), std::move(columns));
+}
+
+StatusOr<Dataset> DatasetFromRowsWithSchema(
+    const std::vector<std::vector<std::string>>& rows,
+    const std::vector<Attribute>& schema,
+    const std::vector<size_t>& column_indices) {
+  if (schema.size() != column_indices.size()) {
+    return Status::InvalidArgument(
+        "schema size does not match column_indices size");
+  }
+  std::vector<std::vector<uint32_t>> columns(schema.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < schema.size(); ++j) {
+      size_t csv_col = column_indices[j];
+      if (csv_col >= rows[i].size()) {
+        return Status::InvalidArgument("row " + std::to_string(i) +
+                                       " is too short");
+      }
+      int code = schema[j].FindCategory(rows[i][csv_col]);
+      if (code < 0) {
+        return Status::InvalidArgument(
+            "unknown category '" + rows[i][csv_col] + "' for attribute '" +
+            schema[j].name + "' at row " + std::to_string(i));
+      }
+      columns[j].push_back(static_cast<uint32_t>(code));
+    }
+  }
+  return Dataset(schema, std::move(columns));
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char delimiter) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  for (size_t j = 0; j < dataset.num_attributes(); ++j) {
+    if (j > 0) file << delimiter;
+    file << dataset.attribute(j).name;
+  }
+  file << '\n';
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    for (size_t j = 0; j < dataset.num_attributes(); ++j) {
+      if (j > 0) file << delimiter;
+      file << dataset.attribute(j).categories[dataset.at(i, j)];
+    }
+    file << '\n';
+  }
+  if (!file.good()) {
+    return Status::IoError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdrr

@@ -1,0 +1,43 @@
+// CSV import/export for categorical microdata. Category vocabularies are
+// either supplied (fixed schema, e.g. Adult) or inferred from the data in
+// order of first appearance.
+
+#ifndef MDRR_DATASET_CSV_H_
+#define MDRR_DATASET_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/dataset/dataset.h"
+
+namespace mdrr {
+
+// Raw CSV parsing: one vector<string> per row, fields trimmed of
+// surrounding whitespace. No quoting support (the data this library
+// handles -- Adult-style categorical files -- does not use quotes).
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvRows(
+    const std::string& path, char delimiter = ',');
+
+// Builds a Dataset from string rows by inferring a nominal attribute per
+// column; categories are assigned codes in order of first appearance.
+// `column_names` sizes must match the row width.
+StatusOr<Dataset> DatasetFromRows(
+    const std::vector<std::vector<std::string>>& rows,
+    const std::vector<std::string>& column_names);
+
+// Builds a Dataset against a fixed schema; rows with unknown labels yield
+// InvalidArgument. `column_indices` selects and orders the CSV columns to
+// read (so callers can skip non-categorical columns).
+StatusOr<Dataset> DatasetFromRowsWithSchema(
+    const std::vector<std::vector<std::string>>& rows,
+    const std::vector<Attribute>& schema,
+    const std::vector<size_t>& column_indices);
+
+// Writes `dataset` as CSV with a header line of attribute names.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char delimiter = ',');
+
+}  // namespace mdrr
+
+#endif  // MDRR_DATASET_CSV_H_

@@ -1,0 +1,69 @@
+// Column-major categorical microdata. Every protocol in the paper touches
+// whole attribute columns (randomize attribute j for all parties, count
+// frequencies of attribute j, ...), so columns are stored contiguously.
+
+#ifndef MDRR_DATASET_DATASET_H_
+#define MDRR_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/dataset/attribute.h"
+
+namespace mdrr {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // An empty dataset with the given schema.
+  explicit Dataset(std::vector<Attribute> schema);
+
+  // Takes ownership of pre-built columns. Preconditions: one column per
+  // schema attribute, equal column lengths, codes within cardinality
+  // (validated; CHECK-fails on violation).
+  Dataset(std::vector<Attribute> schema,
+          std::vector<std::vector<uint32_t>> columns);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return schema_.size(); }
+
+  const std::vector<Attribute>& schema() const { return schema_; }
+  const Attribute& attribute(size_t j) const;
+
+  // Index of the attribute called `name`, or NotFound.
+  StatusOr<size_t> AttributeIndex(const std::string& name) const;
+
+  const std::vector<uint32_t>& column(size_t j) const;
+  uint32_t at(size_t row, size_t j) const;
+
+  // Appends one record given as per-attribute codes.
+  void AppendRow(const std::vector<uint32_t>& codes);
+
+  // Replaces column j (same length as num_rows, codes within cardinality).
+  void SetColumn(size_t j, std::vector<uint32_t> codes);
+
+  // A dataset consisting of this dataset repeated `times` times -- the
+  // paper's Adult6 construction (Section 6.5).
+  Dataset Tiled(size_t times) const;
+
+  // A dataset with only the selected attributes (columns are copied).
+  Dataset Project(const std::vector<size_t>& attribute_indices) const;
+
+  // Cardinalities of all attributes, in schema order.
+  std::vector<int64_t> Cardinalities() const;
+
+  // Human-readable record, e.g. "Private, Bachelors, ...".
+  std::string RowToString(size_t row) const;
+
+ private:
+  std::vector<Attribute> schema_;
+  std::vector<std::vector<uint32_t>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_DATASET_DATASET_H_

@@ -1,0 +1,91 @@
+#include "mdrr/dataset/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mdrr {
+
+namespace {
+
+std::string IntervalLabel(double lo, double hi, bool last) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), last ? "[%.6g, %.6g]" : "[%.6g, %.6g)", lo,
+                hi);
+  return buf;
+}
+
+Discretization BuildFromEdges(const std::vector<double>& values,
+                              std::vector<double> edges,
+                              const std::string& name) {
+  Discretization result;
+  result.edges = std::move(edges);
+  const size_t bins = result.edges.size() - 1;
+  result.attribute.name = name;
+  result.attribute.type = AttributeType::kOrdinal;
+  for (size_t b = 0; b < bins; ++b) {
+    result.attribute.categories.push_back(IntervalLabel(
+        result.edges[b], result.edges[b + 1], /*last=*/b + 1 == bins));
+  }
+  result.codes.reserve(values.size());
+  for (double v : values) {
+    // upper_bound on interior edges: bin b covers [edge_b, edge_{b+1}).
+    auto it = std::upper_bound(result.edges.begin() + 1,
+                               result.edges.end() - 1, v);
+    size_t bin = static_cast<size_t>(it - (result.edges.begin() + 1));
+    result.codes.push_back(static_cast<uint32_t>(bin));
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<Discretization> EqualWidthDiscretize(const std::vector<double>& values,
+                                              size_t num_bins,
+                                              const std::string& name) {
+  if (values.empty()) return Status::InvalidArgument("no values to discretize");
+  if (num_bins < 1) return Status::InvalidArgument("num_bins must be >= 1");
+  auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (lo == hi) {
+    return Status::InvalidArgument("all values identical; nothing to bin");
+  }
+  std::vector<double> edges(num_bins + 1);
+  for (size_t b = 0; b <= num_bins; ++b) {
+    edges[b] = lo + (hi - lo) * static_cast<double>(b) /
+                        static_cast<double>(num_bins);
+  }
+  edges.back() = hi;
+  return BuildFromEdges(values, std::move(edges), name);
+}
+
+StatusOr<Discretization> QuantileDiscretize(const std::vector<double>& values,
+                                            size_t num_bins,
+                                            const std::string& name) {
+  if (values.empty()) return Status::InvalidArgument("no values to discretize");
+  if (num_bins < 1) return Status::InvalidArgument("num_bins must be >= 1");
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) {
+    return Status::InvalidArgument("all values identical; nothing to bin");
+  }
+  std::vector<double> edges;
+  edges.push_back(sorted.front());
+  for (size_t b = 1; b < num_bins; ++b) {
+    double position = static_cast<double>(b) * (sorted.size() - 1) /
+                      static_cast<double>(num_bins);
+    double edge = sorted[static_cast<size_t>(std::llround(position))];
+    if (edge > edges.back()) edges.push_back(edge);
+  }
+  if (sorted.back() > edges.back()) {
+    edges.push_back(sorted.back());
+  } else {
+    // Degenerate tail: widen the last edge marginally so the maximum value
+    // falls inside the final closed interval.
+    edges.push_back(edges.back() + 1.0);
+  }
+  return BuildFromEdges(values, std::move(edges), name);
+}
+
+}  // namespace mdrr

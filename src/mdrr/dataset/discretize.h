@@ -1,0 +1,39 @@
+// Discretization of numerical values into ordinal categories. The paper
+// requires numerical attributes to be discretized before RR (Section 4:
+// "to be accommodated by RR these need to be discretized into ordinal
+// attributes (for example by rounding or by replacing values with
+// intervals)").
+
+#ifndef MDRR_DATASET_DISCRETIZE_H_
+#define MDRR_DATASET_DISCRETIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/dataset/attribute.h"
+
+namespace mdrr {
+
+struct Discretization {
+  Attribute attribute;          // Ordinal attribute with interval labels.
+  std::vector<uint32_t> codes;  // One bin code per input value.
+  std::vector<double> edges;    // Bin boundaries (size = bins + 1).
+};
+
+// Equal-width bins over [min, max]. Fails if values is empty, num_bins < 1,
+// or all values are identical (zero-width range).
+StatusOr<Discretization> EqualWidthDiscretize(const std::vector<double>& values,
+                                              size_t num_bins,
+                                              const std::string& name);
+
+// Equal-frequency (quantile) bins; duplicate quantile edges are merged, so
+// the result may have fewer than num_bins bins.
+StatusOr<Discretization> QuantileDiscretize(const std::vector<double>& values,
+                                            size_t num_bins,
+                                            const std::string& name);
+
+}  // namespace mdrr
+
+#endif  // MDRR_DATASET_DISCRETIZE_H_

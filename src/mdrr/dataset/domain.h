@@ -1,0 +1,68 @@
+// Mixed-radix indexing of the Cartesian product of a set of attributes.
+// RR-Joint and RR-Clusters treat a tuple of attribute values as a single
+// composite category; Domain maps tuples <-> composite codes in O(k).
+
+#ifndef MDRR_DATASET_DOMAIN_H_
+#define MDRR_DATASET_DOMAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/dataset/dataset.h"
+
+namespace mdrr {
+
+class Domain {
+ public:
+  // Builds a domain over the given per-position cardinalities.
+  // Precondition: every cardinality >= 1 and the product fits in uint64_t
+  // (CHECK-fails on overflow; callers bound cluster size with Tv anyway).
+  explicit Domain(std::vector<size_t> cardinalities);
+
+  // Domain of the selected attributes of `dataset`, in the given order.
+  static Domain ForAttributes(const Dataset& dataset,
+                              const std::vector<size_t>& attribute_indices);
+
+  size_t num_positions() const { return cardinalities_.size(); }
+  const std::vector<size_t>& cardinalities() const { return cardinalities_; }
+
+  // Total number of composite categories (the product).
+  uint64_t size() const { return size_; }
+
+  // tuple -> composite code. Precondition: tuple[i] < cardinalities[i].
+  uint64_t Encode(const std::vector<uint32_t>& tuple) const;
+
+  // composite code -> tuple. Precondition: code < size().
+  std::vector<uint32_t> Decode(uint64_t code) const;
+
+  // Value at `position` of the tuple encoded by `code`, without
+  // materializing the whole tuple.
+  uint32_t DecodeAt(uint64_t code, size_t position) const;
+
+  // Composite codes of the selected attributes for every record of
+  // `dataset` (attribute order must match this domain's construction).
+  std::vector<uint32_t> ComposeColumns(
+      const Dataset& dataset,
+      const std::vector<size_t>& attribute_indices) const;
+
+  // Marginalizes a distribution over this domain onto one position:
+  // out[v] = sum of dist[code] over codes whose position value is v.
+  std::vector<double> MarginalizeTo(const std::vector<double>& distribution,
+                                    size_t position) const;
+
+  // Marginalizes onto an ordered subset of positions, producing a
+  // distribution over the sub-domain formed by those positions.
+  std::vector<double> MarginalizeToSubset(
+      const std::vector<double>& distribution,
+      const std::vector<size_t>& positions) const;
+
+ private:
+  std::vector<size_t> cardinalities_;
+  std::vector<uint64_t> strides_;  // strides_[i]: weight of position i.
+  uint64_t size_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_DATASET_DOMAIN_H_

@@ -1,0 +1,172 @@
+#include "mdrr/dataset/mushroom.h"
+
+#include <array>
+
+#include "mdrr/common/check.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+namespace {
+
+// Two latent "species groups" drive the correlated blocks: group 0 is
+// the edible-leaning morphology, group 1 the poisonous-leaning one.
+// Within each block, attributes copy a block-level tendency with high
+// probability, giving strong within-block and moderate cross-block
+// dependence -- the structure Algorithm 1 is meant to discover.
+
+template <size_t N>
+uint32_t Draw(Rng& rng, const std::array<double, N>& weights) {
+  return static_cast<uint32_t>(
+      rng.Discrete(std::vector<double>(weights.begin(), weights.end())));
+}
+
+// Picks `biased` with probability `loyalty`, else uniform over `r`.
+uint32_t Biased(Rng& rng, uint32_t biased, size_t r, double loyalty) {
+  if (rng.Bernoulli(loyalty)) return biased;
+  return static_cast<uint32_t>(rng.UniformInt(r));
+}
+
+}  // namespace
+
+std::vector<Attribute> MushroomSchema() {
+  auto nominal = [](const char* name,
+                    std::vector<std::string> categories) {
+    return Attribute{name, AttributeType::kNominal, std::move(categories)};
+  };
+  return {
+      nominal("class", {"edible", "poisonous"}),
+      nominal("cap-shape", {"bell", "conical", "convex", "flat", "knobbed",
+                            "sunken"}),
+      nominal("cap-surface", {"fibrous", "grooves", "scaly", "smooth"}),
+      nominal("cap-color", {"brown", "buff", "cinnamon", "gray", "green",
+                            "pink", "purple", "red", "white", "yellow"}),
+      nominal("bruises", {"bruises", "no"}),
+      nominal("odor", {"almond", "anise", "creosote", "fishy", "foul",
+                       "musty", "none", "pungent", "spicy"}),
+      nominal("gill-attachment", {"attached", "free"}),
+      nominal("gill-spacing", {"close", "crowded"}),
+      nominal("gill-size", {"broad", "narrow"}),
+      nominal("gill-color", {"black", "brown", "buff", "chocolate", "gray",
+                             "green", "orange", "pink", "purple", "red",
+                             "white", "yellow"}),
+      nominal("stalk-shape", {"enlarging", "tapering"}),
+      nominal("stalk-root", {"bulbous", "club", "equal", "rooted", "?"}),
+      nominal("stalk-surface-above-ring",
+              {"fibrous", "scaly", "silky", "smooth"}),
+      nominal("stalk-surface-below-ring",
+              {"fibrous", "scaly", "silky", "smooth"}),
+      nominal("stalk-color-above-ring",
+              {"brown", "buff", "cinnamon", "gray", "orange", "pink", "red",
+               "white", "yellow"}),
+      nominal("stalk-color-below-ring",
+              {"brown", "buff", "cinnamon", "gray", "orange", "pink", "red",
+               "white", "yellow"}),
+      nominal("veil-type", {"partial", "universal"}),
+      nominal("veil-color", {"brown", "orange", "white", "yellow"}),
+      nominal("ring-number", {"none", "one", "two"}),
+      nominal("ring-type", {"evanescent", "flaring", "large", "none",
+                            "pendant"}),
+      nominal("spore-print-color",
+              {"black", "brown", "buff", "chocolate", "green", "orange",
+               "purple", "white", "yellow"}),
+      nominal("population", {"abundant", "clustered", "numerous",
+                             "scattered", "several", "solitary"}),
+      nominal("habitat", {"grasses", "leaves", "meadows", "paths", "urban",
+                          "waste", "woods"}),
+  };
+}
+
+Dataset SynthesizeMushroom(size_t n, uint64_t seed) {
+  std::vector<Attribute> schema = MushroomSchema();
+  const size_t m = schema.size();
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> columns(m);
+  for (auto& col : columns) col.reserve(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    // Latent species group (roughly balanced, like the real 52/48 split).
+    bool poisonous_group = rng.Bernoulli(0.48);
+
+    // Odor nearly determines the class in the real data.
+    uint32_t odor;
+    if (poisonous_group) {
+      // foul, creosote, fishy, musty, pungent, spicy dominate.
+      odor = Draw(rng, std::array<double, 9>{0.01, 0.01, 0.05, 0.15, 0.45,
+                                             0.02, 0.08, 0.12, 0.11});
+    } else {
+      // none, almond, anise dominate.
+      odor = Draw(rng, std::array<double, 9>{0.10, 0.10, 0.002, 0.003,
+                                             0.005, 0.005, 0.76, 0.015,
+                                             0.01});
+    }
+    bool smells_bad = odor == 2 || odor == 3 || odor == 4 || odor == 5 ||
+                      odor == 7 || odor == 8;
+    uint32_t clazz = rng.Bernoulli(smells_bad ? 0.97 : 0.08) ? 1 : 0;
+
+    // Cap block.
+    uint32_t cap_shape = Biased(rng, poisonous_group ? 2u : 3u, 6, 0.45);
+    uint32_t cap_surface = Biased(rng, poisonous_group ? 2u : 0u, 4, 0.5);
+    uint32_t cap_color = Biased(rng, poisonous_group ? 0u : 3u, 10, 0.35);
+    uint32_t bruises = rng.Bernoulli(poisonous_group ? 0.25 : 0.6) ? 0 : 1;
+
+    // Gill block: strongly internally coupled.
+    uint32_t gill_attachment = rng.Bernoulli(0.03) ? 0 : 1;
+    uint32_t gill_spacing = rng.Bernoulli(poisonous_group ? 0.9 : 0.75)
+                                ? 0
+                                : 1;
+    uint32_t gill_size = rng.Bernoulli(poisonous_group ? 0.45 : 0.8) ? 0 : 1;
+    uint32_t gill_color = Biased(rng, gill_size == 1 ? 2u : 10u, 12, 0.4);
+
+    // Stalk block: surfaces/colors above and below the ring copy each
+    // other with high probability (the real data's strongest pairs).
+    uint32_t stalk_shape = rng.Bernoulli(0.55) ? 1 : 0;
+    uint32_t stalk_root = Draw(rng, std::array<double, 5>{0.46, 0.07, 0.14,
+                                                          0.02, 0.31});
+    uint32_t surface_above =
+        Biased(rng, poisonous_group ? 2u : 3u, 4, 0.7);
+    uint32_t surface_below =
+        rng.Bernoulli(0.85) ? surface_above
+                            : static_cast<uint32_t>(rng.UniformInt(4));
+    uint32_t color_above = Biased(rng, poisonous_group ? 5u : 7u, 9, 0.6);
+    uint32_t color_below =
+        rng.Bernoulli(0.85) ? color_above
+                            : static_cast<uint32_t>(rng.UniformInt(9));
+
+    // Veil/ring block.
+    uint32_t veil_type = rng.Bernoulli(0.999) ? 0 : 1;
+    uint32_t veil_color = rng.Bernoulli(0.975) ? 2u : Biased(rng, 0u, 4, 0.5);
+    uint32_t ring_number = Draw(rng, std::array<double, 3>{0.005, 0.92,
+                                                           0.075});
+    uint32_t ring_type =
+        poisonous_group ? Biased(rng, 0u, 5, 0.55) : Biased(rng, 4u, 5, 0.6);
+
+    // Spore print correlates with class and gill color.
+    uint32_t spore_print;
+    if (poisonous_group) {
+      spore_print = Draw(rng, std::array<double, 9>{0.05, 0.10, 0.02, 0.45,
+                                                    0.02, 0.01, 0.01, 0.32,
+                                                    0.02});
+    } else {
+      spore_print = Draw(rng, std::array<double, 9>{0.35, 0.35, 0.03, 0.08,
+                                                    0.002, 0.02, 0.02, 0.10,
+                                                    0.048});
+    }
+
+    // Ecology block.
+    uint32_t population = Biased(rng, poisonous_group ? 4u : 3u, 6, 0.45);
+    uint32_t habitat = Biased(rng, poisonous_group ? 3u : 6u, 7, 0.4);
+
+    const uint32_t record[] = {
+        clazz,          cap_shape,     cap_surface,  cap_color,
+        bruises,        odor,          gill_attachment, gill_spacing,
+        gill_size,      gill_color,    stalk_shape,  stalk_root,
+        surface_above,  surface_below, color_above,  color_below,
+        veil_type,      veil_color,    ring_number,  ring_type,
+        spore_print,    population,    habitat};
+    for (size_t j = 0; j < m; ++j) columns[j].push_back(record[j]);
+  }
+  return Dataset(std::move(schema), std::move(columns));
+}
+
+}  // namespace mdrr

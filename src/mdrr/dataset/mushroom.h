@@ -1,0 +1,33 @@
+// A second, higher-dimensional evaluation data set: a Mushroom-style
+// synthesizer with 22 categorical attributes (the UCI Mushroom layout),
+// used to stress RR-Clusters beyond Adult's 8 attributes. Attributes come
+// in strongly-coupled blocks (cap, gill, stalk, veil/ring, ecology) with
+// an edibility class driven by odor and spore print -- mirroring the real
+// data's structure, where odor alone nearly determines the class.
+//
+// This data set is NOT part of the paper's evaluation; it powers the
+// scalability ablation (bench/ablation_scalability) that checks the
+// library's behaviour as m grows.
+
+#ifndef MDRR_DATASET_MUSHROOM_H_
+#define MDRR_DATASET_MUSHROOM_H_
+
+#include <cstdint>
+
+#include "mdrr/dataset/dataset.h"
+
+namespace mdrr {
+
+// Number of records in the UCI Mushroom file.
+inline constexpr size_t kMushroomNumRecords = 8124;
+
+// The 22-attribute categorical schema plus the edibility class (23
+// attributes total; class is attribute 0). All nominal.
+std::vector<Attribute> MushroomSchema();
+
+// Draws `n` synthetic Mushroom records. Deterministic in `seed`.
+Dataset SynthesizeMushroom(size_t n, uint64_t seed);
+
+}  // namespace mdrr
+
+#endif  // MDRR_DATASET_MUSHROOM_H_

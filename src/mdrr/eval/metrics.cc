@@ -1,0 +1,19 @@
+#include "mdrr/eval/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mdrr::eval {
+
+double AbsoluteError(double estimated, double truth) {
+  return std::fabs(estimated - truth);
+}
+
+double RelativeError(double estimated, double truth) {
+  if (truth == 0.0) {
+    return estimated == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(estimated - truth) / truth;
+}
+
+}  // namespace mdrr::eval

@@ -1,0 +1,19 @@
+// Count-query error metrics of Section 6.5: e_S = |Y_S - X_S| and the
+// relative error r_S = |Y_S - X_S| / X_S (Expression (16)).
+
+#ifndef MDRR_EVAL_METRICS_H_
+#define MDRR_EVAL_METRICS_H_
+
+namespace mdrr::eval {
+
+// |estimated - truth|.
+double AbsoluteError(double estimated, double truth);
+
+// |estimated - truth| / truth. Returns 0 when both are 0 and +inf when
+// only the truth is 0 (the experiment driver aggregates medians over
+// finite values and reports how many runs were degenerate).
+double RelativeError(double estimated, double truth);
+
+}  // namespace mdrr::eval
+
+#endif  // MDRR_EVAL_METRICS_H_

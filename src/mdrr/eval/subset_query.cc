@@ -1,0 +1,70 @@
+#include "mdrr/eval/subset_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mdrr/common/check.h"
+#include "mdrr/dataset/domain.h"
+
+namespace mdrr::eval {
+
+CountQuery GenerateCoverageQuery(const Dataset& dataset, double sigma,
+                                 size_t num_query_attributes, Rng& rng) {
+  MDRR_CHECK_GE(dataset.num_attributes(), num_query_attributes);
+  MDRR_CHECK_GE(num_query_attributes, 1u);
+  // Sample distinct attribute indices by partial shuffle.
+  std::vector<size_t> all(dataset.num_attributes());
+  std::iota(all.begin(), all.end(), 0);
+  for (size_t k = 0; k < num_query_attributes; ++k) {
+    size_t pick = k + static_cast<size_t>(rng.UniformInt(all.size() - k));
+    std::swap(all[k], all[pick]);
+  }
+  std::vector<size_t> attributes(all.begin(),
+                                 all.begin() + num_query_attributes);
+  std::sort(attributes.begin(), attributes.end());
+  return GenerateCoverageQueryForAttributes(dataset, attributes, sigma, rng);
+}
+
+CountQuery GenerateCoverageQueryForAttributes(
+    const Dataset& dataset, const std::vector<size_t>& attributes,
+    double sigma, Rng& rng) {
+  MDRR_CHECK_GT(sigma, 0.0);
+  MDRR_CHECK_LE(sigma, 1.0);
+  Domain domain = Domain::ForAttributes(dataset, attributes);
+  const uint64_t total = domain.size();
+  uint64_t take = static_cast<uint64_t>(
+      std::llround(sigma * static_cast<double>(total)));
+  take = std::max<uint64_t>(1, std::min(take, total));
+
+  // Partial Fisher-Yates over all combination codes.
+  std::vector<uint64_t> codes(total);
+  std::iota(codes.begin(), codes.end(), 0);
+  for (uint64_t k = 0; k < take; ++k) {
+    uint64_t pick = k + rng.UniformInt(total - k);
+    std::swap(codes[k], codes[pick]);
+  }
+
+  CountQuery query;
+  query.attributes = attributes;
+  query.tuples.reserve(take);
+  for (uint64_t k = 0; k < take; ++k) {
+    query.tuples.push_back(domain.Decode(codes[k]));
+  }
+  return query;
+}
+
+CountQuery MakeRangeQuery(const Dataset& dataset, size_t attribute,
+                          uint32_t lo, uint32_t hi) {
+  MDRR_CHECK_LT(attribute, dataset.num_attributes());
+  MDRR_CHECK_LE(lo, hi);
+  MDRR_CHECK_LT(hi, dataset.attribute(attribute).cardinality());
+  CountQuery query;
+  query.attributes = {attribute};
+  for (uint32_t v = lo; v <= hi; ++v) {
+    query.tuples.push_back({v});
+  }
+  return query;
+}
+
+}  // namespace mdrr::eval

@@ -1,0 +1,36 @@
+// Generation of the evaluation queries of Section 6.5: a subset S of the
+// data domain defined over two (by default) randomly chosen attributes,
+// covering a sigma proportion of their value combinations.
+
+#ifndef MDRR_EVAL_SUBSET_QUERY_H_
+#define MDRR_EVAL_SUBSET_QUERY_H_
+
+#include <cstddef>
+
+#include "mdrr/core/joint_estimate.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr::eval {
+
+// Draws `num_query_attributes` distinct attributes uniformly at random,
+// then selects round(sigma * prod of their cardinalities) distinct value
+// combinations uniformly at random (at least 1). Preconditions:
+// 0 < sigma <= 1; num_query_attributes <= num_attributes.
+CountQuery GenerateCoverageQuery(const Dataset& dataset, double sigma,
+                                 size_t num_query_attributes, Rng& rng);
+
+// As above with the attribute set fixed by the caller.
+CountQuery GenerateCoverageQueryForAttributes(
+    const Dataset& dataset, const std::vector<size_t>& attributes,
+    double sigma, Rng& rng);
+
+// Range query on an ordinal attribute: all categories with
+// lo <= code <= hi. The natural workload for the GeometricOrdinal design.
+// Preconditions: lo <= hi < cardinality of `attribute`.
+CountQuery MakeRangeQuery(const Dataset& dataset, size_t attribute,
+                          uint32_t lo, uint32_t hi);
+
+}  // namespace mdrr::eval
+
+#endif  // MDRR_EVAL_SUBSET_QUERY_H_

@@ -1,0 +1,55 @@
+// Multi-metric utility report comparing a released data set (synthetic or
+// randomized) against the original microdata: per-attribute marginal
+// total-variation distances, pairwise dependence preservation, and a
+// count-query error curve over coverages. This is the acceptance check a
+// data controller runs before publishing.
+
+#ifndef MDRR_EVAL_UTILITY_REPORT_H_
+#define MDRR_EVAL_UTILITY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/linalg/matrix.h"
+
+namespace mdrr::eval {
+
+struct UtilityReportOptions {
+  // Coverages evaluated in the count-query error curve.
+  std::vector<double> sigmas = {0.1, 0.3, 0.5, 0.7, 0.9};
+  // Queries per coverage point (median is reported).
+  int queries_per_sigma = 25;
+  uint64_t seed = 1;
+};
+
+struct UtilityReport {
+  // Per-attribute total variation distance between marginals, in schema
+  // order.
+  std::vector<double> marginal_tv;
+  // Pairwise dependence (paper measure) on original and released data.
+  linalg::Matrix original_dependences;
+  linalg::Matrix released_dependences;
+  // Largest absolute pairwise dependence change.
+  double max_dependence_shift = 0.0;
+  // Median relative count-query error per sigma (aligned with
+  // options.sigmas), queries evaluated on the released data against
+  // original-data truth.
+  std::vector<double> median_relative_error;
+
+  // Human-readable multi-line rendering.
+  std::string ToString(const Dataset& original) const;
+};
+
+// Builds the report. Fails unless both datasets share the schema
+// (attribute names and cardinalities) and are nonempty. Released record
+// counts may differ from the original; counts are compared after scaling
+// to the original size.
+StatusOr<UtilityReport> BuildUtilityReport(const Dataset& original,
+                                           const Dataset& released,
+                                           const UtilityReportOptions& options);
+
+}  // namespace mdrr::eval
+
+#endif  // MDRR_EVAL_UTILITY_REPORT_H_

@@ -1,0 +1,101 @@
+#include "mdrr/linalg/lu.h"
+
+#include <cmath>
+
+namespace mdrr::linalg {
+
+StatusOr<LuDecomposition> LuDecomposition::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> pivots(n);
+  int pivot_sign = 1;
+  for (size_t i = 0; i < n; ++i) pivots[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column.
+    size_t pivot_row = col;
+    double pivot_value = std::fabs(lu(col, col));
+    for (size_t row = col + 1; row < n; ++row) {
+      double candidate = std::fabs(lu(row, col));
+      if (candidate > pivot_value) {
+        pivot_value = candidate;
+        pivot_row = row;
+      }
+    }
+    if (pivot_value < 1e-300) {
+      return Status::FailedPrecondition("matrix is numerically singular");
+    }
+    if (pivot_row != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(lu(pivot_row, j), lu(col, j));
+      }
+      std::swap(pivots[pivot_row], pivots[col]);
+      pivot_sign = -pivot_sign;
+    }
+    double diag = lu(col, col);
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = lu(row, col) / diag;
+      lu(row, col) = factor;
+      if (factor == 0.0) continue;
+      for (size_t j = col + 1; j < n; ++j) {
+        lu(row, j) -= factor * lu(col, j);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(pivots), pivot_sign);
+}
+
+std::vector<double> LuDecomposition::Solve(const std::vector<double>& b) const {
+  const size_t n = dimension();
+  MDRR_CHECK_EQ(b.size(), n);
+  std::vector<double> x(n);
+  // Apply the row permutation, then forward-substitute through L.
+  for (size_t i = 0; i < n; ++i) x[i] = b[pivots_[i]];
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+  }
+  // Back-substitute through U.
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = i + 1; j < n; ++j) x[i] -= lu_(i, j) * x[j];
+    x[i] /= lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Inverse() const {
+  const size_t n = dimension();
+  Matrix inverse(n, n);
+  std::vector<double> unit(n, 0.0);
+  for (size_t col = 0; col < n; ++col) {
+    unit[col] = 1.0;
+    std::vector<double> x = Solve(unit);
+    for (size_t row = 0; row < n; ++row) inverse(row, col) = x[row];
+    unit[col] = 0.0;
+  }
+  return inverse;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = pivot_sign_;
+  for (size_t i = 0; i < dimension(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+StatusOr<Matrix> Invert(const Matrix& a) {
+  MDRR_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Factor(a));
+  return lu.Inverse();
+}
+
+StatusOr<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                                const std::vector<double>& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("dimension mismatch in SolveLinearSystem");
+  }
+  MDRR_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Factor(a));
+  return lu.Solve(b);
+}
+
+}  // namespace mdrr::linalg

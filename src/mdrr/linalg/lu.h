@@ -1,0 +1,50 @@
+// LU decomposition with partial pivoting: solve, inverse, determinant.
+// Used when a randomization matrix has no exploitable structure; the
+// structured fast path lives in structured.h.
+
+#ifndef MDRR_LINALG_LU_H_
+#define MDRR_LINALG_LU_H_
+
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/linalg/matrix.h"
+
+namespace mdrr::linalg {
+
+class LuDecomposition {
+ public:
+  // Factors the square matrix `a`. Returns InvalidArgument if `a` is not
+  // square and FailedPrecondition if it is numerically singular.
+  static StatusOr<LuDecomposition> Factor(const Matrix& a);
+
+  // Solves A x = b. Precondition: b.size() == dimension.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  // Full inverse; O(n^3).
+  Matrix Inverse() const;
+
+  double Determinant() const;
+
+  size_t dimension() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<size_t> pivots, int pivot_sign)
+      : lu_(std::move(lu)), pivots_(std::move(pivots)),
+        pivot_sign_(pivot_sign) {}
+
+  Matrix lu_;                    // Combined L (unit diag) and U factors.
+  std::vector<size_t> pivots_;   // Row permutation applied during factoring.
+  int pivot_sign_;               // +1/-1: parity of the permutation.
+};
+
+// Convenience: inverse of `a` via LU. Fails on singular input.
+StatusOr<Matrix> Invert(const Matrix& a);
+
+// Convenience: solves a x = b via LU.
+StatusOr<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                                const std::vector<double>& b);
+
+}  // namespace mdrr::linalg
+
+#endif  // MDRR_LINALG_LU_H_

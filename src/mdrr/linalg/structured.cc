@@ -1,0 +1,72 @@
+#include "mdrr/linalg/structured.h"
+
+#include <cmath>
+
+namespace mdrr::linalg {
+
+Matrix UniformMixture::ToDense() const {
+  Matrix m(size, size, off_diagonal);
+  for (size_t i = 0; i < size; ++i) m(i, i) = diagonal;
+  return m;
+}
+
+double UniformMixture::MaxEigenvalue() const {
+  double a = diagonal - off_diagonal;
+  double bulk = std::fabs(a);
+  double principal = std::fabs(a + static_cast<double>(size) * off_diagonal);
+  return std::max(bulk, principal);
+}
+
+double UniformMixture::MinEigenvalue() const {
+  double a = diagonal - off_diagonal;
+  double bulk = std::fabs(a);
+  double principal = std::fabs(a + static_cast<double>(size) * off_diagonal);
+  return std::min(bulk, principal);
+}
+
+bool UniformMixture::IsSingular(double tolerance) const {
+  return MinEigenvalue() < tolerance;
+}
+
+StatusOr<std::vector<double>> UniformMixture::ApplyInverse(
+    const std::vector<double>& v) const {
+  if (v.size() != size) {
+    return Status::InvalidArgument("vector size does not match matrix size");
+  }
+  double a = diagonal - off_diagonal;
+  double principal = a + static_cast<double>(size) * off_diagonal;
+  if (std::fabs(a) < 1e-300 || std::fabs(principal) < 1e-300) {
+    return Status::FailedPrecondition("uniform-mixture matrix is singular");
+  }
+  double v_sum = 0.0;
+  for (double x : v) v_sum += x;
+  // (aI + bJ)^{-1} v = v/a - (b * sum(v) / (a * (a + r b))) 1.
+  double correction = off_diagonal * v_sum / (a * principal);
+  std::vector<double> result(v.size());
+  for (size_t i = 0; i < v.size(); ++i) result[i] = v[i] / a - correction;
+  return result;
+}
+
+StatusOr<UniformMixture> DetectUniformMixture(const Matrix& m,
+                                              double tolerance) {
+  if (m.rows() != m.cols() || m.rows() == 0) {
+    return Status::InvalidArgument("expected a nonempty square matrix");
+  }
+  const size_t n = m.rows();
+  if (n == 1) {
+    return UniformMixture{1, m(0, 0), 0.0};
+  }
+  double diagonal = m(0, 0);
+  double off_diagonal = m(0, 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double expected = (i == j) ? diagonal : off_diagonal;
+      if (std::fabs(m(i, j) - expected) > tolerance) {
+        return Status::NotFound("matrix does not have uniform-mixture shape");
+      }
+    }
+  }
+  return UniformMixture{n, diagonal, off_diagonal};
+}
+
+}  // namespace mdrr::linalg

@@ -1,0 +1,51 @@
+// Closed forms for "uniform mixture" matrices M = a I + b J (J = all ones):
+// every randomization matrix in the paper has this shape (p_u on the
+// diagonal, p_d elsewhere, i.e. a = p_u - p_d, b = p_d).
+//
+// For such M:
+//   eigenvalues:  a + r b  (eigenvector 1) and  a  (multiplicity r-1)
+//   inverse:      M^{-1} = (1/a) I - (b / (a (a + r b))) J
+// so M^{-1} x costs O(r) instead of O(r^2) and no O(r^3) factorization is
+// needed. This realizes (and improves on) the O(|A|^2) structured-inverse
+// claim of Section 3.1 of the paper.
+
+#ifndef MDRR_LINALG_STRUCTURED_H_
+#define MDRR_LINALG_STRUCTURED_H_
+
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/linalg/matrix.h"
+
+namespace mdrr::linalg {
+
+// A symmetric r x r matrix with `diagonal` on the main diagonal and
+// `off_diagonal` everywhere else.
+struct UniformMixture {
+  size_t size = 0;
+  double diagonal = 0.0;
+  double off_diagonal = 0.0;
+
+  // Materializes the dense matrix (for tests and for generic fallbacks).
+  Matrix ToDense() const;
+
+  // Largest / smallest eigenvalue moduli. The condition-number bound
+  // Pmax/Pmin of Section 2.3 is MaxEigenvalue()/MinEigenvalue().
+  double MaxEigenvalue() const;
+  double MinEigenvalue() const;
+
+  bool IsSingular(double tolerance = 1e-12) const;
+
+  // Solves M x = v in O(r). Fails if the matrix is singular.
+  StatusOr<std::vector<double>> ApplyInverse(
+      const std::vector<double>& v) const;
+};
+
+// Detects whether `m` has the uniform-mixture shape (within `tolerance`)
+// and returns the closed-form description if so.
+StatusOr<UniformMixture> DetectUniformMixture(const Matrix& m,
+                                              double tolerance = 1e-12);
+
+}  // namespace mdrr::linalg
+
+#endif  // MDRR_LINALG_STRUCTURED_H_

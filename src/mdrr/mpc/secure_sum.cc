@@ -1,0 +1,95 @@
+#include "mdrr/mpc/secure_sum.h"
+
+#include "mdrr/common/check.h"
+
+namespace mdrr::mpc {
+
+SecureSumSession::SecureSumSession(uint64_t modulus, SimulationMode mode)
+    : modulus_(modulus), mode_(mode) {
+  MDRR_CHECK_GE(modulus_, 2u);
+}
+
+StatusOr<uint64_t> SecureSumSession::Run(
+    const std::vector<uint64_t>& contributions, Rng& rng) const {
+  if (contributions.empty()) {
+    return Status::InvalidArgument("secure sum needs at least one party");
+  }
+  for (uint64_t c : contributions) {
+    if (c >= modulus_) {
+      return Status::InvalidArgument("contribution exceeds modulus");
+    }
+  }
+  const size_t n = contributions.size();
+
+  if (mode_ == SimulationMode::kFastSimulation) {
+    uint64_t sum = 0;
+    for (uint64_t c : contributions) sum = (sum + c) % modulus_;
+    return sum;
+  }
+
+  // Literal protocol. inbox[j] accumulates the shares received by party j.
+  std::vector<uint64_t> inbox(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // Party i picks shares r_i1..r_i,n-1 uniformly and sets the last share
+    // so the row sums to 0 (mod M), then "sends" share j to party j.
+    uint64_t row_sum = 0;
+    for (size_t j = 0; j + 1 < n; ++j) {
+      uint64_t share = rng.UniformInt(modulus_);
+      row_sum = (row_sum + share) % modulus_;
+      inbox[j] = (inbox[j] + share) % modulus_;
+    }
+    uint64_t last_share = (modulus_ - row_sum) % modulus_;
+    inbox[n - 1] = (inbox[n - 1] + last_share) % modulus_;
+  }
+
+  // Broadcast phase: party j announces its share-sum plus its contribution;
+  // the final result is the sum of broadcasts.
+  uint64_t result = 0;
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t broadcast = (inbox[j] + contributions[j]) % modulus_;
+    result = (result + broadcast) % modulus_;
+  }
+  return result;
+}
+
+SecureFrequencyOracle::SecureFrequencyOracle(SimulationMode mode,
+                                             uint64_t seed)
+    : mode_(mode), rng_(seed) {}
+
+StatusOr<std::vector<int64_t>> SecureFrequencyOracle::BivariateCounts(
+    const std::vector<uint32_t>& codes_a, size_t cardinality_a,
+    const std::vector<uint32_t>& codes_b, size_t cardinality_b) {
+  if (codes_a.size() != codes_b.size()) {
+    return Status::InvalidArgument("code vectors must have equal length");
+  }
+  if (codes_a.empty()) {
+    return Status::InvalidArgument("no parties");
+  }
+  const size_t n = codes_a.size();
+  SecureSumSession session(static_cast<uint64_t>(n) + 1, mode_);
+
+  std::vector<int64_t> counts(cardinality_a * cardinality_b, 0);
+  std::vector<uint64_t> contributions(n);
+  for (size_t a = 0; a < cardinality_a; ++a) {
+    for (size_t b = 0; b < cardinality_b; ++b) {
+      for (size_t i = 0; i < n; ++i) {
+        MDRR_CHECK_LT(codes_a[i], cardinality_a);
+        MDRR_CHECK_LT(codes_b[i], cardinality_b);
+        contributions[i] =
+            (codes_a[i] == a && codes_b[i] == b) ? 1u : 0u;
+      }
+      MDRR_ASSIGN_OR_RETURN(uint64_t cell, session.Run(contributions, rng_));
+      counts[a * cardinality_b + b] = static_cast<int64_t>(cell);
+    }
+  }
+  return counts;
+}
+
+uint64_t SecureFrequencyOracle::BivariateMessageCount(size_t cardinality_a,
+                                                      size_t cardinality_b,
+                                                      size_t num_parties) {
+  return static_cast<uint64_t>(cardinality_a) * cardinality_b *
+         SecureSumSession::MessageCount(num_parties);
+}
+
+}  // namespace mdrr::mpc

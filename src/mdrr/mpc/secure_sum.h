@@ -1,0 +1,86 @@
+// Simulation of the additive-sharing secure sum protocol of Section 4.2
+// (instantiating Ben-Or/Goldwasser/Wigderson-style n-party summation):
+//
+//   1. Each party i chooses n random shares r_i1..r_in with
+//      sum_j r_ij = 0 (mod M);
+//   2. party i sends r_ij to party j;
+//   3. party j broadcasts s_j = sum_i r_ij + c_j (mod M), where c_j is
+//      party j's private contribution;
+//   4. everyone computes sum_j s_j = sum_j c_j (mod M).
+//
+// The arithmetic and information flow are implemented literally (each
+// party's share vector is generated and delivered); only the network is
+// simulated in-process. kFastSimulation skips the share exchange and
+// returns the identical result, for use when n or the number of protocol
+// runs makes the literal O(n^2) exchange pointless in an experiment.
+
+#ifndef MDRR_MPC_SECURE_SUM_H_
+#define MDRR_MPC_SECURE_SUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr::mpc {
+
+enum class SimulationMode {
+  kLiteralShares,   // Full share generation and delivery, O(n^2) messages.
+  kFastSimulation,  // Same output, no share traffic.
+};
+
+class SecureSumSession {
+ public:
+  // `modulus` must exceed the largest possible true sum; the paper uses
+  // M = n + 1 for 0/1 contributions from n parties.
+  SecureSumSession(uint64_t modulus, SimulationMode mode);
+
+  // Runs one aggregation round over the parties' private contributions
+  // (contribution i belongs to party i). Returns the sum modulo `modulus`.
+  // Fails if any contribution >= modulus.
+  StatusOr<uint64_t> Run(const std::vector<uint64_t>& contributions,
+                         Rng& rng) const;
+
+  // Number of point-to-point messages the last literal run would use:
+  // n shares per party plus n broadcasts.
+  static uint64_t MessageCount(size_t num_parties) {
+    return static_cast<uint64_t>(num_parties) * num_parties + num_parties;
+  }
+
+  uint64_t modulus() const { return modulus_; }
+  SimulationMode mode() const { return mode_; }
+
+ private:
+  uint64_t modulus_;
+  SimulationMode mode_;
+};
+
+// Bivariate absolute frequencies via repeated secure sums: one protocol
+// run per cell (a, b) of the contingency table, with 0/1 contributions and
+// modulus n + 1 (exactly the procedure of Section 4.2).
+class SecureFrequencyOracle {
+ public:
+  SecureFrequencyOracle(SimulationMode mode, uint64_t seed);
+
+  // Joint counts of (codes_a[i], codes_b[i]) pairs, row-major
+  // [cardinality_a x cardinality_b]. Preconditions: equal-length inputs,
+  // codes within cardinalities.
+  StatusOr<std::vector<int64_t>> BivariateCounts(
+      const std::vector<uint32_t>& codes_a, size_t cardinality_a,
+      const std::vector<uint32_t>& codes_b, size_t cardinality_b);
+
+  // Communication cost in messages for computing one bivariate table
+  // (cells * per-run messages); the O(|Ai||Aj| n) of Section 4.2.
+  static uint64_t BivariateMessageCount(size_t cardinality_a,
+                                        size_t cardinality_b,
+                                        size_t num_parties);
+
+ private:
+  SimulationMode mode_;
+  Rng rng_;
+};
+
+}  // namespace mdrr::mpc
+
+#endif  // MDRR_MPC_SECURE_SUM_H_

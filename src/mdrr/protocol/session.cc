@@ -1,0 +1,132 @@
+#include "mdrr/protocol/session.h"
+
+#include "mdrr/common/check.h"
+#include "mdrr/core/dependence.h"
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/privacy.h"
+
+namespace mdrr::protocol {
+
+Party::Party(uint64_t id, std::vector<uint32_t> true_record, uint64_t seed)
+    : id_(id), true_record_(std::move(true_record)), rng_(seed) {}
+
+std::vector<uint32_t> Party::PublishIndependent(
+    const std::vector<RrMatrix>& matrices) {
+  MDRR_CHECK_EQ(matrices.size(), true_record_.size());
+  std::vector<uint32_t> published(true_record_.size());
+  for (size_t j = 0; j < true_record_.size(); ++j) {
+    published[j] = matrices[j].Randomize(true_record_[j], rng_);
+  }
+  return published;
+}
+
+std::vector<uint32_t> Party::PublishClusters(
+    const AttributeClustering& clusters, const std::vector<Domain>& domains,
+    const std::vector<RrMatrix>& matrices) {
+  MDRR_CHECK_EQ(clusters.size(), domains.size());
+  MDRR_CHECK_EQ(clusters.size(), matrices.size());
+  std::vector<uint32_t> published(clusters.size());
+  std::vector<uint32_t> tuple;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    tuple.clear();
+    for (size_t j : clusters[c]) {
+      MDRR_CHECK_LT(j, true_record_.size());
+      tuple.push_back(true_record_[j]);
+    }
+    uint32_t true_code = static_cast<uint32_t>(domains[c].Encode(tuple));
+    published[c] = matrices[c].Randomize(true_code, rng_);
+  }
+  return published;
+}
+
+StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
+                                              const SessionOptions& options) {
+  const size_t n = dataset.num_rows();
+  const size_t m = dataset.num_attributes();
+  if (n == 0) {
+    return Status::InvalidArgument("a session needs at least one party");
+  }
+
+  // Instantiate the parties; each gets an independent private stream.
+  Rng seeder(options.seed);
+  std::vector<Party> parties;
+  parties.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> record(m);
+    for (size_t j = 0; j < m; ++j) record[j] = dataset.at(i, j);
+    parties.emplace_back(i, std::move(record), seeder.engine()());
+  }
+
+  SessionResult result;
+
+  // --- Round 1: per-attribute randomized publication (Section 4.1). ---
+  std::vector<RrMatrix> round1_matrices;
+  round1_matrices.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    round1_matrices.push_back(RrMatrix::KeepUniform(
+        dataset.attribute(j).cardinality(), options.round1_keep_probability));
+    result.round1_epsilon += round1_matrices.back().Epsilon();
+  }
+  Dataset round1_data(dataset.schema());
+  for (Party& party : parties) {
+    round1_data.AppendRow(party.PublishIndependent(round1_matrices));
+    ++result.messages_round1;
+  }
+
+  // Controller: dependences on the randomized data, then Algorithm 1,
+  // then one clustering broadcast to every party.
+  linalg::Matrix dependences = DependenceMatrix(round1_data);
+  MDRR_ASSIGN_OR_RETURN(
+      result.clusters,
+      ClusterAttributes(dataset.Cardinalities(), dependences,
+                        options.clustering));
+  result.messages_broadcast = n;
+
+  // --- Round 2: cluster-wise publication (Section 6.3.2 calibration). ---
+  std::vector<RrMatrix> cluster_matrices;
+  for (const std::vector<size_t>& cluster : result.clusters) {
+    result.cluster_domains.push_back(
+        Domain::ForAttributes(dataset, cluster));
+    double budget =
+        ClusterEpsilonBudget(dataset, cluster, options.keep_probability);
+    cluster_matrices.push_back(RrMatrix::OptimalForEpsilon(
+        static_cast<size_t>(result.cluster_domains.back().size()), budget));
+    result.round2_epsilon += cluster_matrices.back().Epsilon();
+  }
+  std::vector<std::vector<uint32_t>> cluster_codes(
+      result.clusters.size(), std::vector<uint32_t>());
+  for (auto& codes : cluster_codes) codes.reserve(n);
+  for (Party& party : parties) {
+    std::vector<uint32_t> published = party.PublishClusters(
+        result.clusters, result.cluster_domains, cluster_matrices);
+    for (size_t c = 0; c < published.size(); ++c) {
+      cluster_codes[c].push_back(published[c]);
+    }
+    ++result.messages_round2;
+  }
+
+  // Controller: Eq. (2) estimation per cluster, decode Y.
+  result.randomized = dataset;
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    const Domain& domain = result.cluster_domains[c];
+    std::vector<double> lambda = EmpiricalDistribution(
+        cluster_codes[c], static_cast<size_t>(domain.size()));
+    MDRR_ASSIGN_OR_RETURN(
+        std::vector<double> estimated,
+        EstimateProjectedDistribution(cluster_matrices[c], lambda));
+    result.cluster_joints.push_back(std::move(estimated));
+
+    for (size_t position = 0; position < result.clusters[c].size();
+         ++position) {
+      std::vector<uint32_t> column(n);
+      for (size_t i = 0; i < n; ++i) {
+        column[i] = domain.DecodeAt(cluster_codes[c][i], position);
+      }
+      result.randomized.SetColumn(result.clusters[c][position],
+                                  std::move(column));
+    }
+  }
+  return result;
+}
+
+}  // namespace mdrr::protocol

@@ -1,0 +1,63 @@
+#include "mdrr/rng/alias_sampler.h"
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  MDRR_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    MDRR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  MDRR_CHECK_GT(total, 0.0);
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale weights so the average bucket is exactly 1.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining buckets are exactly 1 up to round-off.
+  for (uint32_t i : large) probability_[i] = 1.0;
+  for (uint32_t i : small) probability_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  size_t bucket = rng.UniformInt(probability_.size());
+  if (rng.UniformDouble() < probability_[bucket]) return bucket;
+  return alias_[bucket];
+}
+
+double AliasSampler::ProbabilityOf(size_t i) const {
+  MDRR_CHECK_LT(i, probability_.size());
+  const size_t n = probability_.size();
+  double p = probability_[i];
+  for (size_t j = 0; j < n; ++j) {
+    if (alias_[j] == i && probability_[j] < 1.0) p += 1.0 - probability_[j];
+  }
+  return p / n;
+}
+
+}  // namespace mdrr

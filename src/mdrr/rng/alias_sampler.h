@@ -1,0 +1,37 @@
+// Walker/Vose alias method: O(n) construction, O(1) sampling from a fixed
+// discrete distribution. Used for repeated draws from rows of large
+// randomization matrices (RR-Joint on clusters with hundreds of categories).
+
+#ifndef MDRR_RNG_ALIAS_SAMPLER_H_
+#define MDRR_RNG_ALIAS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+class AliasSampler {
+ public:
+  // Builds the alias table for the given non-negative weights (need not be
+  // normalized; must have positive total mass).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  // Draws an index in [0, size()) with probability proportional to its
+  // weight. O(1): one uniform integer plus one Bernoulli.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return probability_.size(); }
+
+  // Reconstructed sampling probability of index i (for testing).
+  double ProbabilityOf(size_t i) const;
+
+ private:
+  std::vector<double> probability_;  // Acceptance threshold per bucket.
+  std::vector<uint32_t> alias_;      // Fallback index per bucket.
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_RNG_ALIAS_SAMPLER_H_

@@ -1,0 +1,91 @@
+#include "mdrr/rng/rng.h"
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+std::mt19937_64 MakeEngine(uint64_t seed) {
+  // Expand the seed through SplitMix64 into a full seed sequence so that
+  // seeds 1, 2, 3, ... give unrelated streams.
+  uint64_t state = seed;
+  std::seed_seq seq{SplitMix64Next(state), SplitMix64Next(state),
+                    SplitMix64Next(state), SplitMix64Next(state)};
+  return std::mt19937_64(seq);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : engine_(MakeEngine(seed)) {}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  MDRR_CHECK_GT(bound, 0u);
+  std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  MDRR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MDRR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  MDRR_CHECK_GT(total, 0.0);
+  double target = UniformDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;  // Guards against floating-point round-off.
+}
+
+std::vector<int64_t> Rng::Multinomial(
+    int64_t n, const std::vector<double>& probabilities) {
+  MDRR_CHECK(!probabilities.empty());
+  std::vector<int64_t> counts(probabilities.size(), 0);
+  // Sequential binomial decomposition: conditional on the remaining mass,
+  // each category count is Binomial(remaining_n, p_i / remaining_mass).
+  double remaining_mass = 0.0;
+  for (double p : probabilities) remaining_mass += p;
+  int64_t remaining_n = n;
+  for (size_t i = 0; i + 1 < probabilities.size() && remaining_n > 0; ++i) {
+    double p = remaining_mass > 0.0 ? probabilities[i] / remaining_mass : 0.0;
+    if (p > 1.0) p = 1.0;
+    std::binomial_distribution<int64_t> dist(remaining_n, p);
+    int64_t c = dist(engine_);
+    counts[i] = c;
+    remaining_n -= c;
+    remaining_mass -= probabilities[i];
+  }
+  counts.back() += remaining_n;
+  return counts;
+}
+
+Rng Rng::Fork() {
+  uint64_t child_seed = engine_();
+  return Rng(child_seed);
+}
+
+}  // namespace mdrr

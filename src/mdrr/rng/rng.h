@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation for the library.
+//
+// All randomized components take an Rng& so experiments are reproducible
+// from a single seed. Seeding goes through SplitMix64 so that nearby seeds
+// produce unrelated streams.
+
+#ifndef MDRR_RNG_RNG_H_
+#define MDRR_RNG_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mdrr {
+
+// SplitMix64 step: returns the next value of the sequence and advances
+// `state`. Used for seed expansion and as a tiny standalone generator.
+uint64_t SplitMix64Next(uint64_t& state);
+
+// A seeded 64-bit Mersenne Twister with convenience draws.
+// Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on {0, ..., bound - 1}. Precondition: bound > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  // Uniform on [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Draws an index from the (not necessarily normalized) non-negative
+  // weight vector by inverse transform. O(n); for repeated draws from the
+  // same distribution use AliasSampler.
+  size_t Discrete(const std::vector<double>& weights);
+
+  // Multinomial sample: n trials over `probabilities` (must sum to ~1).
+  // Returns counts per category.
+  std::vector<int64_t> Multinomial(int64_t n,
+                                   const std::vector<double>& probabilities);
+
+  // Derives an independent child generator (for per-party streams).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_RNG_RNG_H_

@@ -1,0 +1,62 @@
+#include "mdrr/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdrr/common/check.h"
+
+namespace mdrr::stats {
+
+double Mean(const std::vector<double>& values) {
+  MDRR_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  MDRR_CHECK(!values.empty());
+  double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(values.size());
+}
+
+double Covariance(const std::vector<double>& x, const std::vector<double>& y) {
+  MDRR_CHECK(!x.empty());
+  MDRR_CHECK_EQ(x.size(), y.size());
+  double mean_x = Mean(x);
+  double mean_y = Mean(y);
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum += (x[i] - mean_x) * (y[i] - mean_y);
+  }
+  return sum / static_cast<double>(x.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  double var_x = Variance(x);
+  double var_y = Variance(y);
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return Covariance(x, y) / std::sqrt(var_x * var_y);
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  MDRR_CHECK(!values.empty());
+  MDRR_CHECK_GE(q, 0.0);
+  MDRR_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double position = q * static_cast<double>(values.size() - 1);
+  size_t lower = static_cast<size_t>(position);
+  size_t upper = std::min(lower + 1, values.size() - 1);
+  double fraction = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - fraction) + values[upper] * fraction;
+}
+
+}  // namespace mdrr::stats

@@ -1,0 +1,36 @@
+// Descriptive statistics over double sequences: mean, variance, median,
+// covariance and Pearson correlation (the paper's ordinal dependence
+// measure, Expression (8)).
+
+#ifndef MDRR_STATS_DESCRIPTIVE_H_
+#define MDRR_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace mdrr::stats {
+
+// Preconditions for all functions: nonempty input; paired inputs must have
+// equal lengths.
+
+double Mean(const std::vector<double>& values);
+
+// Population variance (divides by n); matches the empirical-distribution
+// view the paper takes in Section 4.1.
+double Variance(const std::vector<double>& values);
+
+// Population covariance (divides by n).
+double Covariance(const std::vector<double>& x, const std::vector<double>& y);
+
+// Pearson correlation coefficient; returns 0 when either input is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Median (averages the two central order statistics for even n).
+double Median(std::vector<double> values);
+
+// q-quantile for q in [0, 1] by linear interpolation of order statistics.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace mdrr::stats
+
+#endif  // MDRR_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,83 @@
+#include "mdrr/stats/error_bounds.h"
+
+#include <cmath>
+#include <limits>
+
+#include "mdrr/common/check.h"
+#include "mdrr/stats/quantiles.h"
+
+namespace mdrr::stats {
+
+double ThompsonB(double alpha, double num_categories) {
+  MDRR_CHECK_GT(alpha, 0.0);
+  MDRR_CHECK_LT(alpha, 1.0);
+  MDRR_CHECK_GE(num_categories, 1.0);
+  return ChiSquaredUpperPercentile(1.0, alpha / num_categories);
+}
+
+double SqrtB(double alpha, double num_categories) {
+  return std::sqrt(ThompsonB(alpha, num_categories));
+}
+
+double AbsoluteErrorBound(const std::vector<double>& lambda, int64_t n,
+                          double alpha) {
+  MDRR_CHECK(!lambda.empty());
+  MDRR_CHECK_GT(n, 0);
+  double b = ThompsonB(alpha, static_cast<double>(lambda.size()));
+  double worst = 0.0;
+  for (double l : lambda) {
+    MDRR_CHECK_GE(l, 0.0);
+    MDRR_CHECK_LE(l, 1.0);
+    worst = std::max(worst, std::sqrt(b * l * (1.0 - l) /
+                                      static_cast<double>(n)));
+  }
+  return worst;
+}
+
+double RelativeErrorBound(const std::vector<double>& lambda, int64_t n,
+                          double alpha) {
+  MDRR_CHECK(!lambda.empty());
+  MDRR_CHECK_GT(n, 0);
+  double b = ThompsonB(alpha, static_cast<double>(lambda.size()));
+  double worst = -1.0;
+  for (double l : lambda) {
+    if (l <= 0.0) continue;
+    worst = std::max(worst,
+                     std::sqrt(b * (1.0 - l) / l / static_cast<double>(n)));
+  }
+  if (worst < 0.0) return std::numeric_limits<double>::infinity();
+  return worst;
+}
+
+double EvenFrequencyRelativeError(double num_categories, int64_t n,
+                                  double alpha) {
+  MDRR_CHECK_GE(num_categories, 1.0);
+  MDRR_CHECK_GT(n, 0);
+  double b = ThompsonB(alpha, num_categories);
+  return std::sqrt(b * (num_categories - 1.0) / static_cast<double>(n));
+}
+
+double RrIndependentEvenRelativeError(const std::vector<int64_t>& cardinalities,
+                                      int64_t n, double alpha) {
+  MDRR_CHECK(!cardinalities.empty());
+  double worst = 0.0;
+  for (int64_t r : cardinalities) {
+    MDRR_CHECK_GE(r, 1);
+    worst = std::max(
+        worst, EvenFrequencyRelativeError(static_cast<double>(r), n, alpha));
+  }
+  return worst;
+}
+
+double RrJointEvenRelativeError(const std::vector<int64_t>& cardinalities,
+                                int64_t n, double alpha) {
+  MDRR_CHECK(!cardinalities.empty());
+  double product = 1.0;
+  for (int64_t r : cardinalities) {
+    MDRR_CHECK_GE(r, 1);
+    product *= static_cast<double>(r);
+  }
+  return EvenFrequencyRelativeError(product, n, alpha);
+}
+
+}  // namespace mdrr::stats

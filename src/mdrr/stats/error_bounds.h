@@ -1,0 +1,51 @@
+// The multinomial estimation-error theory of Section 2.3 and Section 3.3:
+// simultaneous confidence half-widths for the randomized-response
+// distribution estimate λ̂ (Definitions 1-2, Expressions (5) and (6)),
+// built on B = the (alpha / r) upper percentile of chi-squared with 1 dof
+// (Thompson 1987). Figure 1 plots SqrtB; Section 3.3 compares the
+// even-frequency analytic bounds of RR-Independent and RR-Joint.
+
+#ifndef MDRR_STATS_ERROR_BOUNDS_H_
+#define MDRR_STATS_ERROR_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mdrr::stats {
+
+// B: the (alpha / num_categories) upper percentile of chi-squared with one
+// degree of freedom. `num_categories` may be fractional only in tests; the
+// paper always uses an integer r >= 2.
+double ThompsonB(double alpha, double num_categories);
+
+// sqrt(B) -- the y-axis of Figure 1.
+double SqrtB(double alpha, double num_categories);
+
+// Expression (5): e_abs = max_u sqrt(B * λ_u (1 - λ_u) / n).
+double AbsoluteErrorBound(const std::vector<double>& lambda, int64_t n,
+                          double alpha);
+
+// Expression (6): e_rel = max_u sqrt(B * (1 - λ_u) / λ_u / n).
+// Categories with λ_u = 0 are skipped (their relative error is undefined);
+// returns +inf if every category has λ_u = 0.
+double RelativeErrorBound(const std::vector<double>& lambda, int64_t n,
+                          double alpha);
+
+// Section 3.3 analytic best case (even frequencies λ_u = 1/r):
+// e_rel = sqrt(B * (r - 1) / n) with B at upper tail alpha / r.
+double EvenFrequencyRelativeError(double num_categories, int64_t n,
+                                  double alpha);
+
+// Section 3.3 applied to RR-Independent: max over attributes of the
+// even-frequency bound of each attribute alone.
+double RrIndependentEvenRelativeError(const std::vector<int64_t>& cardinalities,
+                                      int64_t n, double alpha);
+
+// Section 3.3 applied to RR-Joint: even-frequency bound on the Cartesian
+// product of all attributes.
+double RrJointEvenRelativeError(const std::vector<int64_t>& cardinalities,
+                                int64_t n, double alpha);
+
+}  // namespace mdrr::stats
+
+#endif  // MDRR_STATS_ERROR_BOUNDS_H_

@@ -1,0 +1,59 @@
+#include "mdrr/stats/quantiles.h"
+
+#include <cmath>
+
+#include "mdrr/common/check.h"
+#include "mdrr/stats/special_functions.h"
+
+namespace mdrr::stats {
+
+double ChiSquaredCdf(double dof, double x) {
+  MDRR_CHECK_GT(dof, 0.0);
+  MDRR_CHECK_GE(x, 0.0);
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+double ChiSquaredQuantile(double dof, double p) {
+  MDRR_CHECK_GT(dof, 0.0);
+  MDRR_CHECK_GT(p, 0.0);
+  MDRR_CHECK_LT(p, 1.0);
+
+  // For one degree of freedom the quantile has a closed form through the
+  // normal quantile: X = Z^2 with CDF(x) = 2 Phi(sqrt(x)) - 1.
+  if (dof == 1.0) {
+    double z = StandardNormalQuantile((1.0 + p) / 2.0);
+    return z * z;
+  }
+
+  // Wilson-Hilferty approximation as the Newton starting point.
+  double z = StandardNormalQuantile(p);
+  double t = 1.0 - 2.0 / (9.0 * dof) + z * std::sqrt(2.0 / (9.0 * dof));
+  double x = dof * t * t * t;
+  if (x <= 0.0) x = 0.5;
+
+  for (int iter = 0; iter < 100; ++iter) {
+    double cdf = ChiSquaredCdf(dof, x);
+    // Chi-squared pdf at x.
+    double log_pdf = (dof / 2.0 - 1.0) * std::log(x) - x / 2.0 -
+                     (dof / 2.0) * std::log(2.0) - std::lgamma(dof / 2.0);
+    double pdf = std::exp(log_pdf);
+    if (pdf <= 0.0) break;
+    double step = (cdf - p) / pdf;
+    double next = x - step;
+    if (next <= 0.0) next = x / 2.0;
+    if (std::fabs(next - x) < 1e-12 * (1.0 + std::fabs(x))) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double ChiSquaredUpperPercentile(double dof, double upper_tail_prob) {
+  MDRR_CHECK_GT(upper_tail_prob, 0.0);
+  MDRR_CHECK_LT(upper_tail_prob, 1.0);
+  return ChiSquaredQuantile(dof, 1.0 - upper_tail_prob);
+}
+
+}  // namespace mdrr::stats

@@ -1,0 +1,24 @@
+// Chi-squared CDF and quantiles. The paper's error bounds (Defs. 1-2) need
+// the "alpha/r upper percentile of the chi-squared distribution with 1
+// degree of freedom" -- ChiSquaredUpperPercentile with dof = 1.
+
+#ifndef MDRR_STATS_QUANTILES_H_
+#define MDRR_STATS_QUANTILES_H_
+
+namespace mdrr::stats {
+
+// P[X <= x] for X ~ chi-squared with `dof` degrees of freedom.
+// Preconditions: dof > 0, x >= 0.
+double ChiSquaredCdf(double dof, double x);
+
+// x such that P[X <= x] = p (p in (0,1)). Newton iteration with a
+// Wilson-Hilferty starting point; accuracy ~1e-12.
+double ChiSquaredQuantile(double dof, double p);
+
+// x such that P[X > x] = upper_tail_prob. This is the paper's "upper
+// percentile" B for upper_tail_prob = alpha / r.
+double ChiSquaredUpperPercentile(double dof, double upper_tail_prob);
+
+}  // namespace mdrr::stats
+
+#endif  // MDRR_STATS_QUANTILES_H_

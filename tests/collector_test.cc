@@ -1,0 +1,109 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/collector.h"
+#include "mdrr/core/estimator.h"
+#include "mdrr/eval/subset_query.h"
+#include "mdrr/dataset/adult.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+TEST(ReportCollectorTest, EmptyCollectorState) {
+  ReportCollector collector(RrMatrix::KeepUniform(3, 0.5));
+  EXPECT_EQ(collector.num_reports(), 0);
+  EXPECT_FALSE(collector.Estimate().ok());
+  EXPECT_FALSE(collector.ConfidenceHalfWidths(0.05).ok());
+  std::vector<double> lambda = collector.Lambda();
+  for (double v : lambda) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ReportCollectorTest, RejectsOutOfRangeReport) {
+  ReportCollector collector(RrMatrix::KeepUniform(3, 0.5));
+  EXPECT_FALSE(collector.AddReport(3).ok());
+  EXPECT_TRUE(collector.AddReport(2).ok());
+  EXPECT_EQ(collector.num_reports(), 1);
+}
+
+TEST(ReportCollectorTest, StreamingMatchesBatchEstimation) {
+  RrMatrix matrix = RrMatrix::KeepUniform(4, 0.6);
+  Rng rng(3);
+  std::vector<double> pi = {0.4, 0.3, 0.2, 0.1};
+  std::vector<uint32_t> reports;
+  for (int i = 0; i < 50000; ++i) {
+    reports.push_back(
+        matrix.Randomize(static_cast<uint32_t>(rng.Discrete(pi)), rng));
+  }
+
+  ReportCollector collector(matrix);
+  ASSERT_TRUE(collector.AddReports(reports).ok());
+  auto streaming = collector.Estimate();
+  ASSERT_TRUE(streaming.ok());
+
+  auto batch = EstimateProjectedDistribution(
+      matrix, EmpiricalDistribution(reports, 4));
+  ASSERT_TRUE(batch.ok());
+  for (size_t v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(streaming.value()[v], batch.value()[v]);
+  }
+}
+
+TEST(ReportCollectorTest, ConfidenceShrinksAsReportsArrive) {
+  RrMatrix matrix = RrMatrix::KeepUniform(3, 0.5);
+  Rng rng(5);
+  ReportCollector collector(matrix);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        collector.AddReport(matrix.Randomize(0, rng)).ok());
+  }
+  auto early = collector.ConfidenceHalfWidths(0.05);
+  ASSERT_TRUE(early.ok());
+  for (int i = 0; i < 9000; ++i) {
+    ASSERT_TRUE(
+        collector.AddReport(matrix.Randomize(0, rng)).ok());
+  }
+  auto late = collector.ConfidenceHalfWidths(0.05);
+  ASSERT_TRUE(late.ok());
+  for (size_t v = 0; v < 3; ++v) {
+    EXPECT_LT(late.value()[v], early.value()[v]);
+  }
+}
+
+TEST(ReportCollectorTest, EpsilonIsDesignEpsilon) {
+  RrMatrix matrix = RrMatrix::KeepUniform(5, 0.7);
+  ReportCollector collector(matrix);
+  EXPECT_DOUBLE_EQ(collector.Epsilon(), matrix.Epsilon());
+}
+
+TEST(RangeQueryTest, BuildsInclusiveRange) {
+  Dataset ds = SynthesizeAdult(100, 3);
+  CountQuery query =
+      eval::MakeRangeQuery(ds, kAdultEducation, 8, 11);
+  ASSERT_EQ(query.attributes, (std::vector<size_t>{kAdultEducation}));
+  ASSERT_EQ(query.tuples.size(), 4u);
+  EXPECT_EQ(query.tuples.front()[0], 8u);
+  EXPECT_EQ(query.tuples.back()[0], 11u);
+}
+
+TEST(RangeQueryTest, SingleCategoryRange) {
+  Dataset ds = SynthesizeAdult(100, 5);
+  CountQuery query = eval::MakeRangeQuery(ds, kAdultIncome, 1, 1);
+  ASSERT_EQ(query.tuples.size(), 1u);
+}
+
+TEST(RangeQueryTest, CountsMatchManualScan) {
+  Dataset ds = SynthesizeAdult(5000, 7);
+  CountQuery query =
+      eval::MakeRangeQuery(ds, kAdultEducation, 12, 15);
+  EmpiricalCounts counts(ds);
+  double manual = 0.0;
+  for (uint32_t code : ds.column(kAdultEducation)) {
+    if (code >= 12 && code <= 15) manual += 1.0;
+  }
+  EXPECT_DOUBLE_EQ(counts.EstimateCount(query), manual);
+}
+
+}  // namespace
+}  // namespace mdrr

@@ -1,0 +1,128 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/dependence.h"
+#include "mdrr/dataset/dataset.h"
+
+namespace mdrr {
+namespace {
+
+Dataset MakePerfectlyDependentDataset() {
+  // B = A and C independent of both.
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"a0", "a1", "a2"}},
+      Attribute{"B", AttributeType::kNominal, {"b0", "b1", "b2"}},
+      Attribute{"C", AttributeType::kNominal, {"c0", "c1"}},
+  };
+  std::vector<uint32_t> a = {0, 0, 1, 1, 2, 2, 0, 1, 2, 0, 1, 2};
+  std::vector<uint32_t> c = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  return Dataset(schema, {a, a, c});
+}
+
+TEST(DependenceTest, PerfectNominalDependenceIsOne) {
+  Dataset ds = MakePerfectlyDependentDataset();
+  EXPECT_NEAR(DependenceBetween(ds, 0, 1), 1.0, 1e-12);
+}
+
+TEST(DependenceTest, IndependentAttributesNearZero) {
+  Dataset ds = MakePerfectlyDependentDataset();
+  // A and C are constructed balanced-independent.
+  EXPECT_NEAR(DependenceBetween(ds, 0, 2), 0.0, 1e-9);
+}
+
+TEST(DependenceTest, OrdinalPairUsesPearson) {
+  std::vector<Attribute> schema = {
+      Attribute{"X", AttributeType::kOrdinal, {"0", "1", "2", "3"}},
+      Attribute{"Y", AttributeType::kOrdinal, {"0", "1", "2", "3"}},
+  };
+  std::vector<uint32_t> x = {0, 1, 2, 3, 0, 1, 2, 3};
+  // Y decreasing in X: Pearson = -1, dependence = |r| = 1.
+  std::vector<uint32_t> y = {3, 2, 1, 0, 3, 2, 1, 0};
+  Dataset ds(schema, {x, y});
+  EXPECT_NEAR(DependenceBetween(ds, 0, 1), 1.0, 1e-12);
+}
+
+TEST(DependenceTest, MixedPairFallsBackToCramersV) {
+  std::vector<Attribute> schema = {
+      Attribute{"X", AttributeType::kOrdinal, {"0", "1"}},
+      Attribute{"Y", AttributeType::kNominal, {"u", "v"}},
+  };
+  std::vector<uint32_t> x = {0, 0, 1, 1};
+  std::vector<uint32_t> y = {0, 0, 1, 1};
+  Dataset ds(schema, {x, y});
+  EXPECT_NEAR(DependenceBetween(ds, 0, 1), 1.0, 1e-12);
+}
+
+TEST(DependenceMatrixTest, SymmetricWithUnitDiagonal) {
+  Dataset ds = MakePerfectlyDependentDataset();
+  linalg::Matrix deps = DependenceMatrix(ds);
+  ASSERT_EQ(deps.rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(deps(i, i), 1.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(deps(i, j), deps(j, i));
+      EXPECT_GE(deps(i, j), 0.0);
+      EXPECT_LE(deps(i, j), 1.0);
+    }
+  }
+}
+
+TEST(DependenceFromJointTest, MatchesRawCodesForNominal) {
+  Dataset ds = MakePerfectlyDependentDataset();
+  // Build the joint of (A, B) by hand.
+  std::vector<double> joint(9, 0.0);
+  for (size_t i = 0; i < ds.num_rows(); ++i) {
+    joint[ds.at(i, 0) * 3 + ds.at(i, 1)] += 1.0;
+  }
+  double from_joint =
+      DependenceFromJoint(joint, 3, AttributeType::kNominal, 3,
+                          AttributeType::kNominal,
+                          static_cast<double>(ds.num_rows()));
+  EXPECT_NEAR(from_joint, DependenceBetween(ds, 0, 1), 1e-12);
+}
+
+TEST(DependenceFromJointTest, MatchesRawCodesForOrdinal) {
+  std::vector<uint32_t> x = {0, 1, 2, 3, 0, 1, 2, 3};
+  std::vector<uint32_t> y = {0, 1, 1, 3, 0, 2, 2, 3};
+  std::vector<Attribute> schema = {
+      Attribute{"X", AttributeType::kOrdinal, {"0", "1", "2", "3"}},
+      Attribute{"Y", AttributeType::kOrdinal, {"0", "1", "2", "3"}},
+  };
+  Dataset ds(schema, {x, y});
+  std::vector<double> joint(16, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) joint[x[i] * 4 + y[i]] += 1.0;
+  double from_joint = DependenceFromJoint(joint, 4, AttributeType::kOrdinal,
+                                          4, AttributeType::kOrdinal, 8.0);
+  EXPECT_NEAR(from_joint, DependenceBetween(ds, 0, 1), 1e-12);
+}
+
+TEST(DependenceFromJointTest, ClampsNegativeCells) {
+  // Estimated joints can carry small negative cells; they must not crash
+  // or produce out-of-range dependences.
+  std::vector<double> joint = {0.6, -0.05, -0.05, 0.5};
+  double d = DependenceFromJoint(joint, 2, AttributeType::kNominal, 2,
+                                 AttributeType::kNominal, 100.0);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(AbsPearsonFromJointTest, PerfectDiagonal) {
+  std::vector<double> joint = {0.5, 0.0, 0.0, 0.5};
+  EXPECT_NEAR(AbsPearsonFromJoint(joint, 2, 2), 1.0, 1e-12);
+}
+
+TEST(AbsPearsonFromJointTest, IndependentJointIsZero) {
+  // Outer product of (0.5, 0.5) and (0.3, 0.7).
+  std::vector<double> joint = {0.15, 0.35, 0.15, 0.35};
+  EXPECT_NEAR(AbsPearsonFromJoint(joint, 2, 2), 0.0, 1e-12);
+}
+
+TEST(AbsPearsonFromJointTest, DegenerateMarginalIsZero) {
+  std::vector<double> joint = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(AbsPearsonFromJoint(joint, 2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace mdrr

@@ -1,0 +1,259 @@
+// Edge-case and failure-injection coverage across the whole stack:
+// single-category attributes, degenerate distributions, singular
+// matrices, empty subsets, and protocol property sweeps (TEST_P over the
+// randomization strength).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/adjustment.h"
+#include "mdrr/core/clustering.h"
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/core/rr_joint.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/dataset/domain.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+// --- Single-category attributes ---
+
+TEST(EdgeCaseTest, SingleCategoryAttributeSurvivesProtocols) {
+  std::vector<Attribute> schema = {
+      Attribute{"constant", AttributeType::kNominal, {"only"}},
+      Attribute{"binary", AttributeType::kNominal, {"0", "1"}},
+  };
+  Dataset ds(schema, {{0, 0, 0, 0}, {0, 1, 0, 1}});
+  Rng rng(1);
+  auto result = RunRrIndependent(ds, RrIndependentOptions{0.5}, rng);
+  ASSERT_TRUE(result.ok());
+  // The constant attribute's estimate is the point mass.
+  EXPECT_DOUBLE_EQ(result.value().estimated[0][0], 1.0);
+  // Its epsilon is 0: nothing is revealed by a constant.
+  EXPECT_DOUBLE_EQ(result.value().epsilons[0], 0.0);
+}
+
+TEST(EdgeCaseTest, SingleCategoryKeepUniformMatrix) {
+  RrMatrix m = RrMatrix::KeepUniform(1, 0.3);
+  EXPECT_DOUBLE_EQ(m.Prob(0, 0), 1.0);
+  Rng rng(2);
+  EXPECT_EQ(m.Randomize(0, rng), 0u);
+}
+
+TEST(EdgeCaseTest, ClusteringWithSingleAttribute) {
+  linalg::Matrix deps(1, 1, 1.0);
+  auto clusters =
+      ClusterAttributes(std::vector<int64_t>{5}, deps,
+                        ClusteringOptions{10.0, 0.1});
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters.value().size(), 1u);
+  EXPECT_EQ(clusters.value()[0], (std::vector<size_t>{0}));
+}
+
+// --- Degenerate distributions ---
+
+TEST(EdgeCaseTest, PointMassSurvivesEstimation) {
+  RrMatrix m = RrMatrix::KeepUniform(4, 0.6);
+  Rng rng(3);
+  std::vector<uint32_t> truth(20000, 2);  // All records in category 2.
+  std::vector<uint32_t> randomized = m.RandomizeColumn(truth, rng);
+  std::vector<double> lambda = EmpiricalDistribution(randomized, 4);
+  auto estimate = EstimateProjectedDistribution(m, lambda);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate.value()[2], 0.95);
+}
+
+TEST(EdgeCaseTest, SingleRecordDataset) {
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"0", "1", "2"}}};
+  Dataset ds(schema, {{1}});
+  Rng rng(5);
+  auto result = RunRrIndependent(ds, RrIndependentOptions{0.7}, rng);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (double v : result.value().estimated[0]) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// --- Adjustment degeneracies ---
+
+TEST(EdgeCaseTest, AdjustmentWithPointMassTarget) {
+  std::vector<AdjustmentGroup> groups(1);
+  groups[0].codes = {0, 1, 0, 1};
+  groups[0].target = {1.0, 0.0};  // All mass on category 0.
+  auto result = RunRrAdjustment(groups, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().weights[0], 0.5, 1e-12);
+  EXPECT_NEAR(result.value().weights[1], 0.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, AdjustmentSingleRecord) {
+  std::vector<AdjustmentGroup> groups(1);
+  groups[0].codes = {1};
+  groups[0].target = {0.3, 0.7};
+  auto result = RunRrAdjustment(groups, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().weights[0], 1.0, 1e-12);
+  // Target mass 0.3 on category 0 is unreachable.
+  EXPECT_FALSE(result.value().converged);
+}
+
+// --- RR-Joint corner cases ---
+
+TEST(EdgeCaseTest, RrJointSingleAttributeEqualsMarginalEstimation) {
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"0", "1", "2"}}};
+  Rng data_rng(7);
+  std::vector<uint32_t> col(30000);
+  for (auto& v : col) v = static_cast<uint32_t>(data_rng.Discrete({0.6, 0.3, 0.1}));
+  Dataset ds(schema, {col});
+  Rng rng(11);
+  auto joint = RunRrJoint(ds, {0}, 2.0, rng);
+  ASSERT_TRUE(joint.ok());
+  std::vector<double> truth = EmpiricalDistribution(col, 3);
+  for (size_t v = 0; v < 3; ++v) {
+    EXPECT_NEAR(joint.value().estimated[v], truth[v], 0.03);
+  }
+}
+
+TEST(EdgeCaseTest, RrJointZeroEpsilonIsUseless) {
+  // eps = 0 -> uniform matrix -> SolveTranspose must fail (singular).
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"0", "1"}}};
+  Dataset ds(schema, {{0, 1, 0, 1}});
+  Rng rng(13);
+  auto joint = RunRrJoint(ds, {0}, 0.0, rng);
+  EXPECT_FALSE(joint.ok());
+}
+
+// --- Property sweep: end-to-end marginal recovery across p ---
+
+class ProtocolRecoverySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProtocolRecoverySweep, MarginalsRecoveredAtEveryKeepProbability) {
+  const double p = GetParam();
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"0", "1", "2", "3"}},
+      Attribute{"B", AttributeType::kNominal, {"0", "1"}},
+  };
+  Rng data_rng(17);
+  std::vector<std::vector<uint32_t>> cols(2);
+  const size_t n = 150000;
+  for (size_t i = 0; i < n; ++i) {
+    cols[0].push_back(
+        static_cast<uint32_t>(data_rng.Discrete({0.4, 0.3, 0.2, 0.1})));
+    cols[1].push_back(static_cast<uint32_t>(data_rng.Discrete({0.7, 0.3})));
+  }
+  Dataset ds(schema, std::move(cols));
+  Rng rng(static_cast<uint64_t>(p * 1000));
+  auto result = RunRrIndependent(ds, RrIndependentOptions{p}, rng);
+  ASSERT_TRUE(result.ok());
+
+  // Estimation noise grows as p shrinks; scale the tolerance accordingly
+  // (the 1/(p) amplification of Section 2.3).
+  double tolerance = 0.012 / std::max(0.05, p);
+  std::vector<double> truth_a = EmpiricalDistribution(ds.column(0), 4);
+  for (size_t v = 0; v < 4; ++v) {
+    EXPECT_NEAR(result.value().estimated[0][v], truth_a[v], tolerance)
+        << "p=" << p << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeepProbabilities, ProtocolRecoverySweep,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5, 0.7, 0.9,
+                                           0.99));
+
+// --- Property sweep: clustering is a partition for any thresholds ---
+
+class ClusteringPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ClusteringPartitionSweep, AlwaysPartitionAndWithinTv) {
+  auto [tv, td] = GetParam();
+  const size_t m = 6;
+  std::vector<int64_t> cards = {2, 3, 4, 5, 6, 7};
+  Rng rng(23);
+  linalg::Matrix deps(m, m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    deps(i, i) = 1.0;
+    for (size_t j = i + 1; j < m; ++j) {
+      double d = rng.UniformDouble();
+      deps(i, j) = d;
+      deps(j, i) = d;
+    }
+  }
+  auto clusters = ClusterAttributes(cards, deps, ClusteringOptions{tv, td});
+  ASSERT_TRUE(clusters.ok());
+  std::vector<int> seen(m, 0);
+  for (const auto& cluster : clusters.value()) {
+    EXPECT_FALSE(cluster.empty());
+    // Multi-attribute clusters must respect Tv (singletons are exempt by
+    // Algorithm 1's initialization).
+    if (cluster.size() > 1) {
+      EXPECT_LE(ClusterCombinations(cards, cluster), tv);
+    }
+    for (size_t j : cluster) ++seen[j];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, ClusteringPartitionSweep,
+    ::testing::Combine(::testing::Values(4.0, 20.0, 100.0, 1e6),
+                       ::testing::Values(0.0, 0.2, 0.5, 0.9)));
+
+// --- Determinism of the full cluster protocol ---
+
+TEST(EdgeCaseTest, RrClustersDeterministicForSeed) {
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"0", "1", "2"}},
+      Attribute{"B", AttributeType::kNominal, {"0", "1"}},
+  };
+  Rng data_rng(29);
+  std::vector<std::vector<uint32_t>> cols(2);
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t a = static_cast<uint32_t>(data_rng.UniformInt(3));
+    cols[0].push_back(a);
+    cols[1].push_back(a % 2);
+  }
+  Dataset ds(schema, std::move(cols));
+  RrClustersOptions options;
+  options.clustering = ClusteringOptions{10.0, 0.1};
+
+  Rng rng_a(31);
+  Rng rng_b(31);
+  auto a = RunRrClusters(ds, options, rng_a);
+  auto b = RunRrClusters(ds, options, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().clusters, b.value().clusters);
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(a.value().randomized.column(j), b.value().randomized.column(j));
+  }
+}
+
+// --- Domain boundary conditions ---
+
+TEST(EdgeCaseTest, DomainOfOnes) {
+  Domain d({1, 1, 1});
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.Encode({0, 0, 0}), 0u);
+  EXPECT_EQ(d.Decode(0), (std::vector<uint32_t>{0, 0, 0}));
+}
+
+TEST(EdgeCaseTest, LargeSingleAttributeDomain) {
+  Domain d({1000000});
+  EXPECT_EQ(d.size(), 1000000u);
+  EXPECT_EQ(d.Encode({999999}), 999999u);
+}
+
+}  // namespace
+}  // namespace mdrr

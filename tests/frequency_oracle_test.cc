@@ -1,0 +1,221 @@
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/frequency_oracle.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+std::vector<double> TestDistribution(size_t r, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> pi(r);
+  double total = 0.0;
+  for (double& x : pi) {
+    x = rng.UniformDouble() + 0.05;
+    total += x;
+  }
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+TEST(DirectEncodingTest, EstimatesAreUnbiased) {
+  const size_t r = 6;
+  const double eps = 2.0;
+  DirectEncodingOracle oracle(r, eps);
+  std::vector<double> pi = TestDistribution(r, 3);
+
+  Rng rng(5);
+  const int n = 200000;
+  std::vector<uint32_t> reports(n);
+  for (int i = 0; i < n; ++i) {
+    uint32_t truth = static_cast<uint32_t>(rng.Discrete(pi));
+    reports[i] = oracle.Randomize(truth, rng);
+  }
+  auto estimates = oracle.EstimateFrequencies(reports);
+  ASSERT_TRUE(estimates.ok());
+  for (size_t v = 0; v < r; ++v) {
+    EXPECT_NEAR(estimates.value()[v], pi[v], 0.01) << "category " << v;
+  }
+}
+
+TEST(DirectEncodingTest, MatchesEquationTwoEstimator) {
+  // The closed-form (lambda - q)/(p - q) must agree with the general
+  // Eq. (2) machinery on the same matrix.
+  const size_t r = 5;
+  const double eps = 1.5;
+  DirectEncodingOracle oracle(r, eps);
+  RrMatrix matrix = RrMatrix::OptimalForEpsilon(r, eps);
+
+  Rng rng(7);
+  std::vector<uint32_t> reports(5000);
+  for (auto& x : reports) x = static_cast<uint32_t>(rng.UniformInt(r));
+  auto fast = oracle.EstimateFrequencies(reports);
+  ASSERT_TRUE(fast.ok());
+  auto general =
+      EstimateDistribution(matrix, EmpiricalDistribution(reports, r));
+  ASSERT_TRUE(general.ok());
+  for (size_t v = 0; v < r; ++v) {
+    EXPECT_NEAR(fast.value()[v], general.value()[v], 1e-10);
+  }
+}
+
+TEST(DirectEncodingTest, RejectsEmptyReports) {
+  DirectEncodingOracle oracle(4, 1.0);
+  EXPECT_FALSE(oracle.EstimateFrequencies({}).ok());
+}
+
+TEST(UnaryEncodingTest, SymmetricParameters) {
+  UnaryEncodingOracle sue(8, 2.0, UnaryEncodingOracle::Variant::kSymmetric);
+  double half = std::exp(1.0);
+  EXPECT_NEAR(sue.p(), half / (half + 1.0), 1e-12);
+  EXPECT_NEAR(sue.q(), 1.0 - sue.p(), 1e-12);
+}
+
+TEST(UnaryEncodingTest, OptimizedParameters) {
+  UnaryEncodingOracle oue(8, 2.0, UnaryEncodingOracle::Variant::kOptimized);
+  EXPECT_DOUBLE_EQ(oue.p(), 0.5);
+  EXPECT_NEAR(oue.q(), 1.0 / (std::exp(2.0) + 1.0), 1e-12);
+}
+
+TEST(UnaryEncodingTest, ReportPrivacyRatioBounded) {
+  // Worst-case report-probability ratio between two true values must not
+  // exceed e^eps: the flipped pair of bits contributes
+  // (p / q) * ((1-q) / (1-p)).
+  for (double eps : {0.5, 1.0, 3.0}) {
+    for (auto variant : {UnaryEncodingOracle::Variant::kSymmetric,
+                         UnaryEncodingOracle::Variant::kOptimized}) {
+      UnaryEncodingOracle oracle(10, eps, variant);
+      double ratio = (oracle.p() / oracle.q()) *
+                     ((1.0 - oracle.q()) / (1.0 - oracle.p()));
+      EXPECT_LE(std::log(ratio), eps + 1e-9);
+      // Both variants are tight (equality).
+      EXPECT_NEAR(std::log(ratio), eps, 1e-9);
+    }
+  }
+}
+
+class UnaryEncodingSweep
+    : public ::testing::TestWithParam<
+          std::tuple<size_t, double, UnaryEncodingOracle::Variant>> {};
+
+// Property: unary-encoding estimates converge to the true distribution
+// for every (domain size, epsilon, variant) combination.
+TEST_P(UnaryEncodingSweep, EstimatesAreUnbiased) {
+  auto [r, eps, variant] = GetParam();
+  UnaryEncodingOracle oracle(r, eps, variant);
+  std::vector<double> pi = TestDistribution(r, r * 17);
+
+  Rng rng(r * 31 + static_cast<uint64_t>(eps * 10));
+  const int n = 150000;
+  std::vector<int64_t> bit_counts(r, 0);
+  for (int i = 0; i < n; ++i) {
+    uint32_t truth = static_cast<uint32_t>(rng.Discrete(pi));
+    std::vector<uint8_t> report = oracle.Randomize(truth, rng);
+    for (size_t v = 0; v < r; ++v) bit_counts[v] += report[v];
+  }
+  auto estimates = oracle.EstimateFrequencies(bit_counts, n);
+  ASSERT_TRUE(estimates.ok());
+  for (size_t v = 0; v < r; ++v) {
+    EXPECT_NEAR(estimates.value()[v], pi[v], 0.02)
+        << "r=" << r << " eps=" << eps << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsAndEpsilons, UnaryEncodingSweep,
+    ::testing::Combine(
+        ::testing::Values<size_t>(4, 16, 64),
+        ::testing::Values(1.0, 3.0),
+        ::testing::Values(UnaryEncodingOracle::Variant::kSymmetric,
+                          UnaryEncodingOracle::Variant::kOptimized)));
+
+TEST(UnaryEncodingTest, EstimateFromReports) {
+  UnaryEncodingOracle oracle(3, 5.0,
+                             UnaryEncodingOracle::Variant::kOptimized);
+  Rng rng(41);
+  std::vector<std::vector<uint8_t>> reports;
+  for (int i = 0; i < 20000; ++i) {
+    reports.push_back(oracle.Randomize(0, rng));
+  }
+  auto estimates = oracle.EstimateFromReports(reports);
+  ASSERT_TRUE(estimates.ok());
+  EXPECT_NEAR(estimates.value()[0], 1.0, 0.03);
+  EXPECT_NEAR(estimates.value()[1], 0.0, 0.03);
+}
+
+TEST(UnaryEncodingTest, InputValidation) {
+  UnaryEncodingOracle oracle(3, 1.0,
+                             UnaryEncodingOracle::Variant::kSymmetric);
+  EXPECT_FALSE(oracle.EstimateFrequencies({1, 2}, 10).ok());
+  EXPECT_FALSE(oracle.EstimateFrequencies({1, 2, 3}, 0).ok());
+  EXPECT_FALSE(oracle.EstimateFromReports({}).ok());
+  EXPECT_FALSE(oracle.EstimateFromReports({{1, 0}}).ok());
+}
+
+TEST(OracleComparisonTest, VarianceCrossoverInDomainSize) {
+  // The classic Wang et al. result: DE beats OUE for small r (at fixed
+  // eps, roughly r < 3 e^eps + 2), OUE wins for large r because its
+  // variance does not depend on r.
+  const double eps = 1.0;
+  const int64_t n = 10000;
+  const double pi_v = 0.1;
+
+  DirectEncodingOracle de_small(3, eps);
+  UnaryEncodingOracle oue_small(3, eps,
+                                UnaryEncodingOracle::Variant::kOptimized);
+  EXPECT_LT(de_small.TheoreticalVariance(pi_v, n),
+            oue_small.TheoreticalVariance(pi_v, n));
+
+  DirectEncodingOracle de_large(256, eps);
+  UnaryEncodingOracle oue_large(256, eps,
+                                UnaryEncodingOracle::Variant::kOptimized);
+  EXPECT_GT(de_large.TheoreticalVariance(pi_v, n),
+            oue_large.TheoreticalVariance(pi_v, n));
+}
+
+TEST(OracleComparisonTest, OueBeatsSueAtEqualEpsilon) {
+  const double eps = 1.0;
+  const int64_t n = 10000;
+  UnaryEncodingOracle sue(32, eps, UnaryEncodingOracle::Variant::kSymmetric);
+  UnaryEncodingOracle oue(32, eps, UnaryEncodingOracle::Variant::kOptimized);
+  EXPECT_LT(oue.TheoreticalVariance(0.05, n),
+            sue.TheoreticalVariance(0.05, n));
+}
+
+TEST(OracleComparisonTest, TheoreticalVarianceMatchesEmpirical) {
+  const size_t r = 8;
+  const double eps = 1.5;
+  const int n = 5000;
+  const int replications = 400;
+  DirectEncodingOracle oracle(r, eps);
+  std::vector<double> pi = TestDistribution(r, 51);
+
+  Rng rng(53);
+  std::vector<double> estimates_of_first;
+  for (int rep = 0; rep < replications; ++rep) {
+    std::vector<uint32_t> reports(n);
+    for (int i = 0; i < n; ++i) {
+      reports[i] =
+          oracle.Randomize(static_cast<uint32_t>(rng.Discrete(pi)), rng);
+    }
+    auto est = oracle.EstimateFrequencies(reports);
+    ASSERT_TRUE(est.ok());
+    estimates_of_first.push_back(est.value()[0]);
+  }
+  double mean = 0.0;
+  for (double e : estimates_of_first) mean += e;
+  mean /= replications;
+  double variance = 0.0;
+  for (double e : estimates_of_first) variance += (e - mean) * (e - mean);
+  variance /= replications;
+  double predicted = oracle.TheoreticalVariance(pi[0], n);
+  EXPECT_NEAR(variance, predicted, 0.3 * predicted);
+}
+
+}  // namespace
+}  // namespace mdrr

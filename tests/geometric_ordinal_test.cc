@@ -1,0 +1,131 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+TEST(GeometricOrdinalTest, RowStochasticAndDense) {
+  RrMatrix m = RrMatrix::GeometricOrdinal(8, 2.0);
+  EXPECT_TRUE(m.ToDense().IsRowStochastic(1e-9));
+  EXPECT_FALSE(m.is_structured());  // Not a uniform mixture.
+}
+
+TEST(GeometricOrdinalTest, EpsilonIsExactlyTheBudget) {
+  for (size_t r : {3u, 8u, 20u}) {
+    for (double eps : {0.5, 2.0, 5.0}) {
+      RrMatrix m = RrMatrix::GeometricOrdinal(r, eps);
+      EXPECT_NEAR(m.Epsilon(), eps, 1e-9) << "r=" << r << " eps=" << eps;
+    }
+  }
+}
+
+TEST(GeometricOrdinalTest, ProbabilityDecaysWithDistance) {
+  RrMatrix m = RrMatrix::GeometricOrdinal(6, 3.0);
+  for (size_t u = 0; u < 6; ++u) {
+    for (size_t v = 0; v + 1 < 6; ++v) {
+      size_t d1 = u > v ? u - v : v - u;
+      size_t d2 = u > v + 1 ? u - v - 1 : v + 1 - u;
+      if (d1 < d2) {
+        EXPECT_GT(m.Prob(u, v), m.Prob(u, v + 1)) << u << "," << v;
+      } else if (d1 > d2) {
+        EXPECT_LT(m.Prob(u, v), m.Prob(u, v + 1)) << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(GeometricOrdinalTest, EstimationRecoversDistribution) {
+  RrMatrix m = RrMatrix::GeometricOrdinal(5, 3.0);
+  std::vector<double> pi = {0.35, 0.25, 0.2, 0.12, 0.08};
+  Rng rng(3);
+  const int n = 150000;
+  std::vector<uint32_t> randomized(n);
+  for (int i = 0; i < n; ++i) {
+    randomized[i] =
+        m.Randomize(static_cast<uint32_t>(rng.Discrete(pi)), rng);
+  }
+  std::vector<double> lambda = EmpiricalDistribution(randomized, 5);
+  auto estimate = EstimateDistribution(m, lambda);
+  ASSERT_TRUE(estimate.ok());
+  for (size_t v = 0; v < 5; ++v) {
+    EXPECT_NEAR(estimate.value()[v], pi[v], 0.02) << "category " << v;
+  }
+}
+
+TEST(GeometricOrdinalTest, DistanceGradedProtectionTradeoff) {
+  // The design's contract is metric-privacy style: protection graded by
+  // ordinal distance. Compare at EQUAL ADJACENT-CATEGORY protection
+  // alpha: GeometricOrdinal(r, (r-1) alpha) vs KeepUniform at Expression
+  // (4) epsilon = alpha (k-RR protects every pair, including adjacent
+  // ones, at the same level, so alpha is its full budget).
+  const size_t r = 10;
+  const double alpha = 0.5;  // Nominal per-unit-distance budget.
+  RrMatrix geometric =
+      RrMatrix::GeometricOrdinal(r, alpha * static_cast<double>(r - 1));
+
+  // Measure the geometric design's actual adjacent-category protection
+  // (row normalization adds a bounded Z_max/Z_min factor on top of
+  // e^{alpha}), then calibrate KeepUniform to exactly that level. k-RR
+  // protects every pair -- adjacent included -- at its full Expression
+  // (4) epsilon, so this makes the adjacent-pair contracts identical.
+  auto adjacent_ratio = [&](const RrMatrix& m) {
+    double worst = 1.0;
+    for (size_t v = 0; v < r; ++v) {
+      for (size_t u = 0; u + 1 < r; ++u) {
+        double a = m.Prob(u, v);
+        double b = m.Prob(u + 1, v);
+        if (a > 0 && b > 0) {
+          worst = std::max(worst, std::max(a / b, b / a));
+        }
+      }
+    }
+    return worst;
+  };
+  double alpha_geo = std::log(adjacent_ratio(geometric));
+  // Normalization slack is bounded: alpha <= alpha_geo <= alpha + ln 2.
+  EXPECT_GE(alpha_geo, alpha - 1e-9);
+  EXPECT_LE(alpha_geo, alpha + std::log(2.0));
+
+  double p =
+      (std::exp(alpha_geo) - 1.0) / (std::exp(alpha_geo) - 1.0 + r);
+  RrMatrix uniform = RrMatrix::KeepUniform(r, p);
+  EXPECT_NEAR(uniform.Epsilon(), alpha_geo, 1e-9);
+  EXPECT_NEAR(std::log(adjacent_ratio(uniform)), alpha_geo, 1e-9);
+
+  // At that equal adjacent protection, the geometric design reports
+  // values far closer to the truth and keeps the exact value more often.
+  auto expected_distance = [&](const RrMatrix& m, uint32_t u) {
+    double d = 0.0;
+    for (size_t v = 0; v < r; ++v) {
+      d += m.Prob(u, v) *
+           std::fabs(static_cast<double>(v) - static_cast<double>(u));
+    }
+    return d;
+  };
+  EXPECT_LT(expected_distance(geometric, 5), expected_distance(uniform, 5));
+  EXPECT_LT(expected_distance(geometric, 0), expected_distance(uniform, 0));
+  EXPECT_GT(geometric.Prob(5, 5), uniform.Prob(5, 5));
+
+  // The price: the geometric design's worst-case epsilon is (r-1) alpha,
+  // far above its adjacent-pair level -- distant categories are less
+  // protected.
+  EXPECT_NEAR(geometric.Epsilon(), alpha * static_cast<double>(r - 1),
+              1e-9);
+  EXPECT_GT(geometric.Epsilon(), alpha_geo * 4);
+}
+
+TEST(GeometricOrdinalTest, ApproachesIdentityForLargeEpsilon) {
+  RrMatrix m = RrMatrix::GeometricOrdinal(4, 30.0);
+  for (size_t u = 0; u < 4; ++u) {
+    EXPECT_GT(m.Prob(u, u), 0.99);
+  }
+}
+
+}  // namespace
+}  // namespace mdrr

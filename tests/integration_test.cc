@@ -1,0 +1,211 @@
+// End-to-end integration tests on (synthetic) Adult: the full pipelines of
+// the paper run together -- dependence assessment, clustering, cluster-wise
+// RR, adjustment, count queries and synthetic release -- with the
+// qualitative relationships of Section 6 asserted.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/adjustment.h"
+#include "mdrr/core/dependence.h"
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/core/synthetic.h"
+#include "mdrr/dataset/adult.h"
+#include "mdrr/eval/experiment.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+class AdultPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(SynthesizeAdult(12000, 2024));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* AdultPipeline::dataset_ = nullptr;
+
+TEST_F(AdultPipeline, FullRrClustersPipelineIsInternallyConsistent) {
+  Rng rng(1);
+  RrClustersOptions options;
+  options.keep_probability = 0.7;
+  options.clustering = ClusteringOptions{50.0, 0.1};
+  options.dependence_source = DependenceSource::kOracle;
+  auto result = RunRrClusters(*dataset_, options, rng);
+  ASSERT_TRUE(result.ok());
+
+  // Every attribute appears in exactly one cluster.
+  std::vector<int> seen(dataset_->num_attributes(), 0);
+  for (const auto& cluster : result.value().clusters) {
+    for (size_t j : cluster) ++seen[j];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+
+  // Every cluster joint is a proper distribution.
+  for (const RrJointResult& joint : result.value().cluster_results) {
+    double total = 0.0;
+    for (double v : joint.estimated) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+
+  // The randomized dataset has valid codes everywhere.
+  for (size_t j = 0; j < dataset_->num_attributes(); ++j) {
+    for (uint32_t code : result.value().randomized.column(j)) {
+      EXPECT_LT(code, dataset_->attribute(j).cardinality());
+    }
+  }
+}
+
+TEST_F(AdultPipeline, ClusterMarginalsAgreeWithIndependentEstimates) {
+  // The cluster joint, marginalized to one attribute, should estimate the
+  // same marginal RR-Independent estimates (both unbiased for the truth).
+  Rng rng(3);
+  RrClustersOptions coptions;
+  coptions.keep_probability = 0.8;
+  coptions.clustering = ClusteringOptions{50.0, 0.1};
+  auto clusters = RunRrClusters(*dataset_, coptions, rng);
+  ASSERT_TRUE(clusters.ok());
+
+  for (size_t c = 0; c < clusters.value().clusters.size(); ++c) {
+    const auto& members = clusters.value().clusters[c];
+    const RrJointResult& joint = clusters.value().cluster_results[c];
+    for (size_t position = 0; position < members.size(); ++position) {
+      std::vector<double> marginal =
+          joint.domain.MarginalizeTo(joint.estimated, position);
+      std::vector<double> truth = EmpiricalDistribution(
+          dataset_->column(members[position]),
+          dataset_->attribute(members[position]).cardinality());
+      for (size_t v = 0; v < truth.size(); ++v) {
+        EXPECT_NEAR(marginal[v], truth[v], 0.06)
+            << "cluster " << c << " attribute " << members[position]
+            << " value " << v;
+      }
+    }
+  }
+}
+
+TEST_F(AdultPipeline, AdjustmentImprovesJointQueriesOnDependentPair) {
+  // Section 6.5's qualitative claim: at high p and small coverage,
+  // adjustment improves RR-Independent on dependent attribute pairs.
+  // Evaluate a fixed query on Marital x Relationship.
+  eval::ExperimentConfig base;
+  base.keep_probability = 0.7;
+  base.sigma = 0.1;
+  base.runs = 24;
+  base.seed = 5;
+  base.clustering = ClusteringOptions{50.0, 0.1};
+
+  base.method = eval::Method::kRrIndependent;
+  auto independent = RunCountQueryExperiment(*dataset_, base);
+  ASSERT_TRUE(independent.ok());
+
+  base.method = eval::Method::kRrClusters;
+  auto clusters = RunCountQueryExperiment(*dataset_, base);
+  ASSERT_TRUE(clusters.ok());
+
+  // RR-Clusters should not be worse than twice RR-Independent and is
+  // expected to win at p=0.7 / sigma=0.1 (Figure 3 bottom panels).
+  EXPECT_LT(clusters.value().median_relative_error,
+            independent.value().median_relative_error * 1.5);
+}
+
+TEST_F(AdultPipeline, SyntheticReleasePreservesDependence) {
+  Rng rng(7);
+  RrClustersOptions options;
+  options.keep_probability = 0.8;
+  options.clustering = ClusteringOptions{50.0, 0.1};
+  auto result = RunRrClusters(*dataset_, options, rng);
+  ASSERT_TRUE(result.ok());
+
+  Rng synth_rng(11);
+  auto synthetic = SynthesizeFromClusters(*result, 12000, synth_rng);
+  ASSERT_TRUE(synthetic.ok());
+
+  // Relationship and Sex share a cluster under Tv=50, so their dependence
+  // must survive the randomize -> estimate -> synthesize round trip.
+  // Marital-status lands in a different cluster (7*6*2 = 84 > Tv), so its
+  // dependence on Relationship is forced towards 0 by construction --
+  // exactly the independence assumption RR-Clusters trades away.
+  double true_in_cluster =
+      DependenceBetween(*dataset_, kAdultRelationship, kAdultSex);
+  double synth_in_cluster =
+      DependenceBetween(synthetic.value(), kAdultRelationship, kAdultSex);
+  EXPECT_GT(synth_in_cluster, 0.5 * true_in_cluster);
+
+  double synth_cross = DependenceBetween(
+      synthetic.value(), kAdultMaritalStatus, kAdultRelationship);
+  EXPECT_LT(synth_cross, 0.1);
+}
+
+TEST_F(AdultPipeline, Adult6TilingMatchesPaperConstruction) {
+  Dataset adult6 = dataset_->Tiled(6);
+  EXPECT_EQ(adult6.num_rows(), dataset_->num_rows() * 6);
+  // Identical empirical distribution per attribute.
+  for (size_t j = 0; j < dataset_->num_attributes(); ++j) {
+    std::vector<double> original = EmpiricalDistribution(
+        dataset_->column(j), dataset_->attribute(j).cardinality());
+    std::vector<double> tiled = EmpiricalDistribution(
+        adult6.column(j), adult6.attribute(j).cardinality());
+    for (size_t v = 0; v < original.size(); ++v) {
+      EXPECT_NEAR(tiled[v], original[v], 1e-12);
+    }
+  }
+}
+
+TEST_F(AdultPipeline, LargerDatasetReducesClusterError) {
+  // Table 2 vs Table 1: Adult6 yields lower relative error than Adult for
+  // the same parameterization (p = 0.5, Tv = 50, Td = 0.1). The query is
+  // fixed to an in-cluster pair (Relationship, Sex) because in-cluster
+  // error is sampling noise -- which shrinks with n -- while cross-cluster
+  // error is an independence bias that does not.
+  eval::ExperimentConfig config;
+  config.method = eval::Method::kRrClusters;
+  config.keep_probability = 0.5;
+  config.clustering = ClusteringOptions{50.0, 0.1};
+  config.sigma = 0.1;
+  config.runs = 24;
+  config.seed = 13;
+  config.fixed_query_attributes = {kAdultRelationship, kAdultSex};
+
+  auto small = RunCountQueryExperiment(*dataset_, config);
+  ASSERT_TRUE(small.ok());
+  Dataset adult6 = dataset_->Tiled(6);
+  auto large = RunCountQueryExperiment(adult6, config);
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large.value().median_relative_error,
+            small.value().median_relative_error);
+}
+
+TEST_F(AdultPipeline, EquivalentRiskCalibrationAcrossProtocols) {
+  // Section 6.3: RR-Clusters at budget sum-of-eps has the same total
+  // epsilon as RR-Independent at the same p.
+  Rng rng(17);
+  auto independent =
+      RunRrIndependent(*dataset_, RrIndependentOptions{0.5}, rng);
+  ASSERT_TRUE(independent.ok());
+
+  Rng rng2(19);
+  RrClustersOptions coptions;
+  coptions.keep_probability = 0.5;
+  coptions.clustering = ClusteringOptions{50.0, 0.1};
+  auto clusters = RunRrClusters(*dataset_, coptions, rng2);
+  ASSERT_TRUE(clusters.ok());
+
+  EXPECT_NEAR(clusters.value().release_epsilon,
+              independent.value().total_epsilon, 1e-6);
+}
+
+}  // namespace
+}  // namespace mdrr

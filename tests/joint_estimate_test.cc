@@ -1,0 +1,169 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/joint_estimate.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/dataset/domain.h"
+
+namespace mdrr {
+namespace {
+
+std::vector<Attribute> ThreeAttributeSchema() {
+  return {
+      Attribute{"A", AttributeType::kNominal, {"0", "1"}},
+      Attribute{"B", AttributeType::kNominal, {"0", "1", "2"}},
+      Attribute{"C", AttributeType::kNominal, {"0", "1"}},
+  };
+}
+
+Dataset SmallDataset() {
+  // Rows: (0,0,0) (0,1,0) (1,2,1) (1,2,0) (0,0,1) (1,1,1).
+  return Dataset(ThreeAttributeSchema(),
+                 {{0, 0, 1, 1, 0, 1}, {0, 1, 2, 2, 0, 1}, {0, 0, 1, 0, 1, 1}});
+}
+
+TEST(EmpiricalCountsTest, CountsExactMatches) {
+  EmpiricalCounts counts(SmallDataset());
+  CountQuery query;
+  query.attributes = {0, 1};
+  query.tuples = {{0, 0}};
+  EXPECT_DOUBLE_EQ(counts.EstimateCount(query), 2.0);
+
+  query.tuples = {{1, 2}, {0, 1}};
+  EXPECT_DOUBLE_EQ(counts.EstimateCount(query), 3.0);
+}
+
+TEST(EmpiricalCountsTest, SingleAttributeAndFullRecordQueries) {
+  EmpiricalCounts counts(SmallDataset());
+  CountQuery marginal;
+  marginal.attributes = {2};
+  marginal.tuples = {{1}};
+  EXPECT_DOUBLE_EQ(counts.EstimateCount(marginal), 3.0);
+
+  CountQuery full;
+  full.attributes = {0, 1, 2};
+  full.tuples = {{1, 2, 1}};
+  EXPECT_DOUBLE_EQ(counts.EstimateCount(full), 1.0);
+}
+
+TEST(EmpiricalCountsTest, EmptyTupleListIsZero) {
+  EmpiricalCounts counts(SmallDataset());
+  CountQuery query;
+  query.attributes = {0};
+  EXPECT_DOUBLE_EQ(counts.EstimateCount(query), 0.0);
+}
+
+TEST(IndependentMarginalsEstimateTest, ProductRule) {
+  // Marginals: A = (0.5, 0.5), B = (0.2, 0.3, 0.5), C = (0.4, 0.6), n=100.
+  IndependentMarginalsEstimate estimate(
+      {{0.5, 0.5}, {0.2, 0.3, 0.5}, {0.4, 0.6}}, 100.0);
+  CountQuery query;
+  query.attributes = {0, 2};
+  query.tuples = {{0, 1}};
+  EXPECT_NEAR(estimate.EstimateCount(query), 0.5 * 0.6 * 100.0, 1e-12);
+
+  query.tuples = {{0, 1}, {1, 0}};
+  EXPECT_NEAR(estimate.EstimateCount(query), (0.3 + 0.2) * 100.0, 1e-12);
+}
+
+TEST(IndependentMarginalsEstimateTest, ThreeWayProduct) {
+  IndependentMarginalsEstimate estimate(
+      {{0.5, 0.5}, {0.2, 0.3, 0.5}, {0.4, 0.6}}, 10.0);
+  CountQuery query;
+  query.attributes = {0, 1, 2};
+  query.tuples = {{1, 2, 0}};
+  EXPECT_NEAR(estimate.EstimateCount(query), 0.5 * 0.5 * 0.4 * 10.0, 1e-12);
+}
+
+TEST(ClusterFactorizationEstimateTest, WithinClusterUsesJoint) {
+  // Clusters: {0, 1} with a joint that is NOT a product; {2} marginal.
+  AttributeClustering clusters = {{0, 1}, {2}};
+  std::vector<Domain> domains = {Domain({2, 3}), Domain({2})};
+  // Joint over (A,B): all mass on the diagonal-ish cells.
+  std::vector<double> joint_ab(6, 0.0);
+  Domain d_ab({2, 3});
+  joint_ab[d_ab.Encode({0, 0})] = 0.5;
+  joint_ab[d_ab.Encode({1, 2})] = 0.5;
+  std::vector<double> marginal_c = {0.25, 0.75};
+  ClusterFactorizationEstimate estimate(clusters, domains,
+                                        {joint_ab, marginal_c}, 100.0);
+
+  CountQuery query;
+  query.attributes = {0, 1};
+  query.tuples = {{0, 0}};
+  EXPECT_NEAR(estimate.EstimateCount(query), 50.0, 1e-12);
+  query.tuples = {{0, 2}};  // Zero joint mass despite nonzero marginals.
+  EXPECT_NEAR(estimate.EstimateCount(query), 0.0, 1e-12);
+}
+
+TEST(ClusterFactorizationEstimateTest, AcrossClustersMultiplies) {
+  AttributeClustering clusters = {{0, 1}, {2}};
+  std::vector<Domain> domains = {Domain({2, 3}), Domain({2})};
+  std::vector<double> joint_ab(6, 0.0);
+  Domain d_ab({2, 3});
+  joint_ab[d_ab.Encode({0, 0})] = 0.5;
+  joint_ab[d_ab.Encode({1, 2})] = 0.5;
+  std::vector<double> marginal_c = {0.25, 0.75};
+  ClusterFactorizationEstimate estimate(clusters, domains,
+                                        {joint_ab, marginal_c}, 100.0);
+
+  // P(A=0) = 0.5 (marginalized from the joint); P(C=1) = 0.75.
+  CountQuery query;
+  query.attributes = {0, 2};
+  query.tuples = {{0, 1}};
+  EXPECT_NEAR(estimate.EstimateCount(query), 0.5 * 0.75 * 100.0, 1e-12);
+}
+
+TEST(ClusterFactorizationEstimateTest, QueryOrderIndependent) {
+  // Querying (B, A) instead of (A, B) must give the same counts.
+  AttributeClustering clusters = {{0, 1}};
+  std::vector<Domain> domains = {Domain({2, 3})};
+  Domain d_ab({2, 3});
+  std::vector<double> joint_ab(6, 0.0);
+  joint_ab[d_ab.Encode({0, 1})] = 0.4;
+  joint_ab[d_ab.Encode({1, 0})] = 0.6;
+  ClusterFactorizationEstimate estimate(clusters, domains, {joint_ab}, 10.0);
+
+  CountQuery forward;
+  forward.attributes = {0, 1};
+  forward.tuples = {{0, 1}};
+  CountQuery backward;
+  backward.attributes = {1, 0};
+  backward.tuples = {{1, 0}};
+  EXPECT_NEAR(estimate.EstimateCount(forward),
+              estimate.EstimateCount(backward), 1e-12);
+  EXPECT_NEAR(estimate.EstimateCount(forward), 4.0, 1e-12);
+}
+
+TEST(WeightedRecordsEstimateTest, UniformWeightsEqualEmpirical) {
+  Dataset ds = SmallDataset();
+  std::vector<double> uniform(ds.num_rows(), 1.0 / ds.num_rows());
+  WeightedRecordsEstimate weighted(ds, uniform);
+  EmpiricalCounts empirical(ds);
+
+  CountQuery query;
+  query.attributes = {0, 1};
+  query.tuples = {{1, 2}, {0, 0}};
+  EXPECT_NEAR(weighted.EstimateCount(query), empirical.EstimateCount(query),
+              1e-12);
+}
+
+TEST(WeightedRecordsEstimateTest, WeightsScaleCounts) {
+  Dataset ds = SmallDataset();
+  // Put all mass on record 2 = (1, 2, 1).
+  std::vector<double> weights(ds.num_rows(), 0.0);
+  weights[2] = 1.0;
+  WeightedRecordsEstimate weighted(ds, weights);
+
+  CountQuery query;
+  query.attributes = {0, 1};
+  query.tuples = {{1, 2}};
+  // n * total weight in S = 6 * 1.
+  EXPECT_NEAR(weighted.EstimateCount(query), 6.0, 1e-12);
+  query.tuples = {{0, 0}};
+  EXPECT_NEAR(weighted.EstimateCount(query), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mdrr

@@ -1,0 +1,135 @@
+// Monotonicity and ordering invariants of the statistical theory --
+// properties the paper's analysis relies on implicitly, checked across
+// parameter sweeps.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/privacy.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/stats/error_bounds.h"
+#include "mdrr/stats/quantiles.h"
+
+namespace mdrr {
+namespace {
+
+class ChiSquaredMonotonicity
+    : public ::testing::TestWithParam<double> {};  // dof
+
+TEST_P(ChiSquaredMonotonicity, QuantileIncreasesInProbability) {
+  const double dof = GetParam();
+  double previous = 0.0;
+  for (double p : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.9999}) {
+    double q = stats::ChiSquaredQuantile(dof, p);
+    EXPECT_GT(q, previous) << "dof=" << dof << " p=" << p;
+    previous = q;
+  }
+}
+
+TEST_P(ChiSquaredMonotonicity, CdfIncreasesInX) {
+  const double dof = GetParam();
+  double previous = -1.0;
+  for (double x : {0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0}) {
+    double c = stats::ChiSquaredCdf(dof, x);
+    EXPECT_GT(c, previous) << "dof=" << dof << " x=" << x;
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    previous = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesOfFreedom, ChiSquaredMonotonicity,
+                         ::testing::Values(1.0, 2.0, 5.0, 25.0, 100.0));
+
+TEST(ErrorBoundMonotonicity, SqrtBIncreasesInCategories) {
+  double previous = 0.0;
+  for (double r : {2.0, 10.0, 100.0, 1e4, 1e6}) {
+    double b = stats::SqrtB(0.05, r);
+    EXPECT_GT(b, previous);
+    previous = b;
+  }
+}
+
+TEST(ErrorBoundMonotonicity, SqrtBIncreasesAsAlphaShrinks) {
+  EXPECT_GT(stats::SqrtB(0.01, 10), stats::SqrtB(0.05, 10));
+  EXPECT_GT(stats::SqrtB(0.05, 10), stats::SqrtB(0.2, 10));
+}
+
+TEST(ErrorBoundMonotonicity, RelativeErrorShrinksWithSampleSize) {
+  double previous = 1e18;
+  for (int64_t n : {100, 1000, 10000, 100000}) {
+    double e = stats::EvenFrequencyRelativeError(16.0, n, 0.05);
+    EXPECT_LT(e, previous) << "n=" << n;
+    previous = e;
+  }
+  // And the sqrt(n) scaling is exact for fixed r and alpha.
+  EXPECT_NEAR(stats::EvenFrequencyRelativeError(16.0, 100, 0.05) /
+                  stats::EvenFrequencyRelativeError(16.0, 10000, 0.05),
+              10.0, 1e-9);
+}
+
+TEST(ErrorBoundMonotonicity, JointErrorDominatesIndependent) {
+  // For every prefix of any cardinality profile, the joint bound is at
+  // least the independent bound (they coincide at m = 1).
+  const std::vector<int64_t> cards = {9, 16, 7, 15, 6, 5, 2, 2};
+  std::vector<int64_t> prefix;
+  for (int64_t c : cards) {
+    prefix.push_back(c);
+    double independent =
+        stats::RrIndependentEvenRelativeError(prefix, 32561, 0.05);
+    double joint = stats::RrJointEvenRelativeError(prefix, 32561, 0.05);
+    EXPECT_GE(joint, independent - 1e-12) << "m=" << prefix.size();
+  }
+}
+
+class EpsilonMonotonicity
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(EpsilonMonotonicity, EpsilonOrdersWithKeepProbabilityAndDomain) {
+  auto [r_small, r_large] = GetParam();
+  // Epsilon increases in p at fixed r.
+  double previous = -1.0;
+  for (double p : {0.0, 0.2, 0.4, 0.6, 0.8, 0.99}) {
+    double eps = KeepUniformEpsilon(r_small, p);
+    EXPECT_GT(eps, previous - 1e-15);
+    previous = eps;
+  }
+  // Epsilon increases in r at fixed p.
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_LT(KeepUniformEpsilon(r_small, p),
+              KeepUniformEpsilon(r_large, p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainPairs, EpsilonMonotonicity,
+    ::testing::Values(std::make_tuple<size_t, size_t>(2, 9),
+                      std::make_tuple<size_t, size_t>(9, 16),
+                      std::make_tuple<size_t, size_t>(16, 300)));
+
+TEST(ConditionNumberMonotonicity, WorsensAsRandomizationStrengthens) {
+  // Section 2.3: more off-diagonal mass -> worse error propagation.
+  double previous = 0.0;
+  for (double p_complement : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    RrMatrix m = RrMatrix::KeepUniform(8, 1.0 - p_complement);
+    double kappa = m.ConditionNumber();
+    EXPECT_GT(kappa, previous);
+    previous = kappa;
+  }
+}
+
+TEST(OptimalMatrixMonotonicity, DiagonalGrowsWithEpsilon) {
+  double previous = 0.0;
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    RrMatrix m = RrMatrix::OptimalForEpsilon(10, eps);
+    EXPECT_GT(m.Prob(0, 0), previous);
+    previous = m.Prob(0, 0);
+  }
+  // And the diagonal approaches 1 as eps -> inf.
+  EXPECT_GT(RrMatrix::OptimalForEpsilon(10, 25.0).Prob(0, 0), 0.999);
+}
+
+}  // namespace
+}  // namespace mdrr

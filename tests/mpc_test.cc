@@ -1,0 +1,131 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/mpc/secure_sum.h"
+#include "mdrr/rng/rng.h"
+#include "mdrr/stats/frequency.h"
+
+namespace mdrr::mpc {
+namespace {
+
+TEST(SecureSumTest, LiteralProtocolComputesSum) {
+  Rng rng(1);
+  SecureSumSession session(101, SimulationMode::kLiteralShares);
+  auto result = session.Run({3, 7, 11, 20}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 41u);
+}
+
+TEST(SecureSumTest, FastModeMatchesLiteral) {
+  Rng rng_a(2);
+  Rng rng_b(3);
+  SecureSumSession literal(1000, SimulationMode::kLiteralShares);
+  SecureSumSession fast(1000, SimulationMode::kFastSimulation);
+  std::vector<uint64_t> contributions = {0, 1, 0, 1, 1, 1, 0, 999 % 1000};
+  auto a = literal.Run(contributions, rng_a);
+  auto b = fast.Run(contributions, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(SecureSumTest, ResultIsModular) {
+  Rng rng(5);
+  SecureSumSession session(10, SimulationMode::kLiteralShares);
+  // 7 + 8 = 15 = 5 (mod 10).
+  auto result = session.Run({7, 8}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 5u);
+}
+
+TEST(SecureSumTest, PaperModulusCountsParties) {
+  // The paper's setting: 0/1 contributions, modulus n + 1, so the sum is
+  // exact.
+  const size_t n = 50;
+  Rng rng(7);
+  SecureSumSession session(n + 1, SimulationMode::kLiteralShares);
+  std::vector<uint64_t> contributions(n, 0);
+  for (size_t i = 0; i < n; i += 3) contributions[i] = 1;
+  uint64_t expected = 0;
+  for (uint64_t c : contributions) expected += c;
+  auto result = session.Run(contributions, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), expected);
+}
+
+TEST(SecureSumTest, SingleParty) {
+  Rng rng(11);
+  SecureSumSession session(7, SimulationMode::kLiteralShares);
+  auto result = session.Run({4}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 4u);
+}
+
+TEST(SecureSumTest, RejectsBadInput) {
+  Rng rng(13);
+  SecureSumSession session(10, SimulationMode::kLiteralShares);
+  EXPECT_FALSE(session.Run({}, rng).ok());
+  EXPECT_FALSE(session.Run({10}, rng).ok());  // Contribution >= modulus.
+}
+
+TEST(SecureSumTest, DeterministicForSeedButSumInvariant) {
+  // Different share randomness must never change the protocol output.
+  SecureSumSession session(1000, SimulationMode::kLiteralShares);
+  std::vector<uint64_t> contributions = {5, 6, 7};
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto result = session.Run(contributions, rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 18u);
+  }
+}
+
+TEST(SecureSumTest, MessageCount) {
+  EXPECT_EQ(SecureSumSession::MessageCount(10), 110u);  // n^2 + n.
+}
+
+TEST(SecureFrequencyOracleTest, BivariateCountsMatchDirectCounts) {
+  std::vector<uint32_t> a = {0, 0, 1, 1, 2, 2, 0, 1};
+  std::vector<uint32_t> b = {0, 1, 0, 1, 0, 1, 0, 0};
+  SecureFrequencyOracle oracle(SimulationMode::kLiteralShares, 17);
+  auto counts = oracle.BivariateCounts(a, 3, b, 2);
+  ASSERT_TRUE(counts.ok());
+
+  stats::ContingencyTable direct(a, 3, b, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(counts.value()[i * 2 + j],
+                static_cast<int64_t>(direct.Cell(i, j)))
+          << "cell " << i << "," << j;
+    }
+  }
+}
+
+TEST(SecureFrequencyOracleTest, FastModeIdenticalToLiteral) {
+  std::vector<uint32_t> a = {0, 1, 1, 0, 1};
+  std::vector<uint32_t> b = {1, 1, 0, 0, 1};
+  SecureFrequencyOracle literal(SimulationMode::kLiteralShares, 19);
+  SecureFrequencyOracle fast(SimulationMode::kFastSimulation, 23);
+  auto c1 = literal.BivariateCounts(a, 2, b, 2);
+  auto c2 = fast.BivariateCounts(a, 2, b, 2);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1.value(), c2.value());
+}
+
+TEST(SecureFrequencyOracleTest, RejectsMismatchedInput) {
+  SecureFrequencyOracle oracle(SimulationMode::kFastSimulation, 29);
+  EXPECT_FALSE(oracle.BivariateCounts({0, 1}, 2, {0}, 2).ok());
+  EXPECT_FALSE(oracle.BivariateCounts({}, 2, {}, 2).ok());
+}
+
+TEST(SecureFrequencyOracleTest, CommunicationCostFormula) {
+  // O(|A_i| |A_j| n) messages: cells * (n^2 + n).
+  EXPECT_EQ(SecureFrequencyOracle::BivariateMessageCount(3, 2, 10),
+            6u * 110u);
+}
+
+}  // namespace
+}  // namespace mdrr::mpc

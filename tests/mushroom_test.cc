@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "mdrr/core/clustering.h"
+#include "mdrr/core/dependence.h"
+#include "mdrr/dataset/mushroom.h"
+#include "mdrr/stats/frequency.h"
+
+namespace mdrr {
+namespace {
+
+TEST(MushroomSchemaTest, TwentyThreeAttributes) {
+  std::vector<Attribute> schema = MushroomSchema();
+  ASSERT_EQ(schema.size(), 23u);
+  EXPECT_EQ(schema[0].name, "class");
+  EXPECT_EQ(schema[0].cardinality(), 2u);
+  EXPECT_EQ(schema[5].name, "odor");
+  EXPECT_EQ(schema[5].cardinality(), 9u);
+  EXPECT_EQ(schema[9].name, "gill-color");
+  EXPECT_EQ(schema[9].cardinality(), 12u);
+}
+
+TEST(MushroomSynthesizerTest, DeterministicAndSized) {
+  Dataset a = SynthesizeMushroom(1000, 7);
+  Dataset b = SynthesizeMushroom(1000, 7);
+  EXPECT_EQ(a.num_rows(), 1000u);
+  EXPECT_EQ(a.num_attributes(), 23u);
+  for (size_t j = 0; j < a.num_attributes(); ++j) {
+    EXPECT_EQ(a.column(j), b.column(j));
+  }
+}
+
+class MushroomStructure : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(SynthesizeMushroom(kMushroomNumRecords, 11));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* MushroomStructure::dataset_ = nullptr;
+
+TEST_F(MushroomStructure, ClassBalanceRoughlyEven) {
+  stats::FrequencyTable table(dataset_->column(0), 2);
+  EXPECT_NEAR(table.Proportions()[1], 0.48, 0.05);
+}
+
+TEST_F(MushroomStructure, OdorNearlyDeterminesClass) {
+  // The real data's famous property.
+  double dep = DependenceBetween(*dataset_, 0, 5);
+  EXPECT_GT(dep, 0.7);
+}
+
+TEST_F(MushroomStructure, StalkSurfacesStronglyCoupled) {
+  // surface-above-ring (12) and surface-below-ring (13) copy each other.
+  double dep = DependenceBetween(*dataset_, 12, 13);
+  EXPECT_GT(dep, 0.6);
+}
+
+TEST_F(MushroomStructure, ClusteringFindsBlocks) {
+  linalg::Matrix deps = DependenceMatrix(*dataset_);
+  auto clusters =
+      ClusterAttributes(*dataset_, deps, ClusteringOptions{60.0, 0.15});
+  ASSERT_TRUE(clusters.ok());
+  // A partition of all 23 attributes with multiple non-trivial clusters.
+  size_t total = 0;
+  size_t multi = 0;
+  for (const auto& cluster : clusters.value()) {
+    total += cluster.size();
+    if (cluster.size() > 1) ++multi;
+  }
+  EXPECT_EQ(total, 23u);
+  EXPECT_GE(multi, 3u);
+
+  // The stalk-surface pair must share a cluster (4 * 4 = 16 <= 60 and
+  // dependence > Td).
+  bool surfaces_together = false;
+  for (const auto& cluster : clusters.value()) {
+    bool has_above = false;
+    bool has_below = false;
+    for (size_t j : cluster) {
+      if (j == 12) has_above = true;
+      if (j == 13) has_below = true;
+    }
+    if (has_above && has_below) surfaces_together = true;
+  }
+  EXPECT_TRUE(surfaces_together);
+}
+
+}  // namespace
+}  // namespace mdrr

@@ -1,0 +1,152 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/dependence.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+TEST(NmiTest, IdenticalVariablesGiveOne) {
+  std::vector<uint32_t> x = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(x, 3, x, 3), 1.0, 1e-12);
+}
+
+TEST(NmiTest, BijectiveRelabelingGivesOne) {
+  std::vector<uint32_t> x = {0, 1, 2, 0, 1, 2};
+  std::vector<uint32_t> y = {2, 0, 1, 2, 0, 1};  // Permuted copy of x.
+  EXPECT_NEAR(NormalizedMutualInformation(x, 3, y, 3), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentVariablesGiveZero) {
+  // Balanced product design: every (x, y) cell equally likely.
+  std::vector<uint32_t> x;
+  std::vector<uint32_t> y;
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 0; b < 4; ++b) {
+      x.push_back(a);
+      y.push_back(b);
+    }
+  }
+  EXPECT_NEAR(NormalizedMutualInformation(x, 3, y, 4), 0.0, 1e-12);
+}
+
+TEST(NmiTest, ConstantVariableGivesZero) {
+  std::vector<uint32_t> x = {0, 0, 0, 0};
+  std::vector<uint32_t> y = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(x, 2, y, 2), 0.0);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  Rng rng(3);
+  std::vector<uint32_t> x;
+  std::vector<uint32_t> y;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.UniformInt(4));
+    x.push_back(a);
+    y.push_back(rng.Bernoulli(0.7) ? a % 3
+                                   : static_cast<uint32_t>(rng.UniformInt(3)));
+  }
+  EXPECT_NEAR(NormalizedMutualInformation(x, 4, y, 3),
+              NormalizedMutualInformation(y, 3, x, 4), 1e-12);
+}
+
+TEST(NmiTest, MonotoneInCouplingStrength) {
+  Rng rng(7);
+  double previous = -1.0;
+  for (double coupling : {0.0, 0.3, 0.6, 0.9}) {
+    std::vector<uint32_t> x;
+    std::vector<uint32_t> y;
+    for (int i = 0; i < 20000; ++i) {
+      uint32_t a = static_cast<uint32_t>(rng.UniformInt(3));
+      x.push_back(a);
+      y.push_back(rng.Bernoulli(coupling)
+                      ? a
+                      : static_cast<uint32_t>(rng.UniformInt(3)));
+    }
+    double nmi = NormalizedMutualInformation(x, 3, y, 3);
+    EXPECT_GT(nmi, previous) << "coupling " << coupling;
+    previous = nmi;
+  }
+}
+
+TEST(NmiFromJointTest, MatchesCodeVersion) {
+  Rng rng(11);
+  std::vector<uint32_t> x;
+  std::vector<uint32_t> y;
+  std::vector<double> joint(6, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.UniformInt(2));
+    uint32_t b = rng.Bernoulli(0.6) ? a + 1
+                                    : static_cast<uint32_t>(rng.UniformInt(3));
+    x.push_back(a);
+    y.push_back(b);
+    joint[a * 3 + b] += 1.0;
+  }
+  EXPECT_NEAR(NormalizedMutualInformationFromJoint(joint, 2, 3),
+              NormalizedMutualInformation(x, 2, y, 3), 1e-12);
+}
+
+TEST(NmiFromJointTest, ClampsNegativesAndHandlesZeroMass) {
+  EXPECT_GE(NormalizedMutualInformationFromJoint({0.6, -0.1, -0.1, 0.6}, 2,
+                                                 2),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      NormalizedMutualInformationFromJoint({0.0, 0.0, 0.0, 0.0}, 2, 2), 0.0);
+}
+
+TEST(DependenceMatrixWithMeasureTest, AllMeasuresProduceValidMatrices) {
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kOrdinal, {"0", "1", "2"}},
+      Attribute{"B", AttributeType::kNominal, {"x", "y"}},
+      Attribute{"C", AttributeType::kOrdinal, {"0", "1", "2", "3"}},
+  };
+  Rng rng(13);
+  std::vector<std::vector<uint32_t>> cols(3);
+  for (int i = 0; i < 3000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.UniformInt(3));
+    cols[0].push_back(a);
+    cols[1].push_back(rng.Bernoulli(0.8) ? (a > 0 ? 1u : 0u)
+                                         : static_cast<uint32_t>(
+                                               rng.UniformInt(2)));
+    cols[2].push_back(static_cast<uint32_t>(rng.UniformInt(4)));
+  }
+  Dataset ds(schema, std::move(cols));
+
+  for (DependenceMeasure measure :
+       {DependenceMeasure::kPaperAuto, DependenceMeasure::kCramersV,
+        DependenceMeasure::kAbsPearson,
+        DependenceMeasure::kNormalizedMutualInformation}) {
+    linalg::Matrix deps = DependenceMatrixWithMeasure(ds, measure);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(deps(i, i), 1.0);
+      for (size_t j = 0; j < 3; ++j) {
+        EXPECT_GE(deps(i, j), 0.0);
+        EXPECT_LE(deps(i, j), 1.0);
+        EXPECT_DOUBLE_EQ(deps(i, j), deps(j, i));
+      }
+    }
+    // The coupled pair (A, B) dominates the independent pair (A, C)
+    // under every measure.
+    EXPECT_GT(deps(0, 1), deps(0, 2)) << "measure "
+                                      << static_cast<int>(measure);
+  }
+}
+
+TEST(DependenceMatrixWithMeasureTest, PaperAutoMatchesDefault) {
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kOrdinal, {"0", "1"}},
+      Attribute{"B", AttributeType::kNominal, {"x", "y"}},
+  };
+  Dataset ds(schema, {{0, 1, 0, 1}, {0, 1, 1, 0}});
+  linalg::Matrix via_measure =
+      DependenceMatrixWithMeasure(ds, DependenceMeasure::kPaperAuto);
+  linalg::Matrix direct = DependenceMatrix(ds);
+  EXPECT_DOUBLE_EQ(via_measure(0, 1), direct(0, 1));
+}
+
+}  // namespace
+}  // namespace mdrr

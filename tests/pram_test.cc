@@ -1,0 +1,119 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/pram.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+Dataset MakeDataset(size_t n, uint64_t seed) {
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"0", "1", "2"}},
+      Attribute{"B", AttributeType::kNominal, {"0", "1"}},
+  };
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> cols(2);
+  for (size_t i = 0; i < n; ++i) {
+    cols[0].push_back(static_cast<uint32_t>(rng.Discrete({0.5, 0.3, 0.2})));
+    cols[1].push_back(static_cast<uint32_t>(rng.Discrete({0.7, 0.3})));
+  }
+  return Dataset(schema, std::move(cols));
+}
+
+TEST(PramTest, EstimatesRecoverCollectedMarginals) {
+  Dataset collected = MakeDataset(80000, 3);
+  Rng rng(5);
+  auto result = ApplyPram(collected, 0.6, rng);
+  ASSERT_TRUE(result.ok());
+  for (size_t j = 0; j < collected.num_attributes(); ++j) {
+    std::vector<double> truth = EmpiricalDistribution(
+        collected.column(j), collected.attribute(j).cardinality());
+    for (size_t v = 0; v < truth.size(); ++v) {
+      EXPECT_NEAR(result.value().estimated[j][v], truth[v], 0.02);
+    }
+  }
+}
+
+TEST(PramTest, PublishedFileDiffersFromCollected) {
+  Dataset collected = MakeDataset(5000, 7);
+  Rng rng(11);
+  auto result = ApplyPram(collected, 0.5, rng);
+  ASSERT_TRUE(result.ok());
+  size_t changed = 0;
+  for (size_t i = 0; i < collected.num_rows(); ++i) {
+    if (result.value().randomized.at(i, 0) != collected.at(i, 0)) ++changed;
+  }
+  // About (1 - p) * (r - 1) / r = 0.5 * 2/3 of first-attribute values flip.
+  EXPECT_GT(changed, collected.num_rows() / 4);
+  EXPECT_LT(changed, collected.num_rows() / 2);
+}
+
+TEST(PramTest, RejectsEmptyData) {
+  Dataset empty(std::vector<Attribute>{
+      Attribute{"A", AttributeType::kNominal, {"x", "y"}}});
+  Rng rng(13);
+  EXPECT_FALSE(ApplyPram(empty, 0.5, rng).ok());
+}
+
+TEST(InvariantPramTest, MatrixIsRowStochastic) {
+  RrMatrix base = RrMatrix::KeepUniform(3, 0.5);
+  std::vector<double> observed = {0.5, 0.3, 0.2};
+  auto invariant = InvariantPramMatrix(base, observed);
+  ASSERT_TRUE(invariant.ok());
+  EXPECT_TRUE(invariant.value().ToDense().IsRowStochastic(1e-9));
+}
+
+TEST(InvariantPramTest, PreservesMarginalInExpectation) {
+  RrMatrix base = RrMatrix::KeepUniform(3, 0.5);
+  std::vector<double> observed = {0.5, 0.3, 0.2};
+  auto invariant = InvariantPramMatrix(base, observed);
+  ASSERT_TRUE(invariant.ok());
+  // R^T observed = observed: the published marginal equals the collected
+  // one in expectation (the defining invariant-PRAM property).
+  std::vector<double> published =
+      invariant.value().ToDense().TransposeMatVec(observed);
+  for (size_t v = 0; v < observed.size(); ++v) {
+    EXPECT_NEAR(published[v], observed[v], 1e-12);
+  }
+}
+
+TEST(InvariantPramTest, EmpiricalInvariance) {
+  Dataset collected = MakeDataset(100000, 17);
+  std::vector<double> observed =
+      EmpiricalDistribution(collected.column(0), 3);
+  RrMatrix base = RrMatrix::KeepUniform(3, 0.5);
+  auto invariant = InvariantPramMatrix(base, observed);
+  ASSERT_TRUE(invariant.ok());
+  Rng rng(19);
+  std::vector<uint32_t> published =
+      invariant.value().RandomizeColumn(collected.column(0), rng);
+  std::vector<double> published_marginal =
+      EmpiricalDistribution(published, 3);
+  for (size_t v = 0; v < 3; ++v) {
+    EXPECT_NEAR(published_marginal[v], observed[v], 0.01);
+  }
+}
+
+TEST(InvariantPramTest, DegenerateDistributionFallsBackToIdentityRows) {
+  RrMatrix base = RrMatrix::KeepUniform(3, 0.5);
+  // All mass on category 0: rows for unreachable categories become
+  // identity; the matrix must still be row-stochastic.
+  std::vector<double> observed = {1.0, 0.0, 0.0};
+  auto invariant = InvariantPramMatrix(base, observed);
+  ASSERT_TRUE(invariant.ok());
+  EXPECT_TRUE(invariant.value().ToDense().IsRowStochastic(1e-9));
+  // Category 0 can only map to 0 (others have zero observed mass).
+  EXPECT_NEAR(invariant.value().Prob(0, 0), 1.0, 1e-12);
+}
+
+TEST(InvariantPramTest, SizeMismatchFails) {
+  RrMatrix base = RrMatrix::KeepUniform(3, 0.5);
+  EXPECT_FALSE(InvariantPramMatrix(base, {0.5, 0.5}).ok());
+}
+
+}  // namespace
+}  // namespace mdrr

@@ -1,0 +1,118 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/serialization.h"
+#include "mdrr/dataset/adult.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+RrClustersResult MakeProtocolResult(const Dataset& ds) {
+  RrClustersOptions options;
+  options.keep_probability = 0.7;
+  options.clustering = ClusteringOptions{50.0, 0.1};
+  Rng rng(7);
+  auto result = RunRrClusters(ds, options, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  Dataset ds = SynthesizeAdult(5000, 3);
+  RrClustersResult protocol = MakeProtocolResult(ds);
+  ClusterEstimates original = EstimatesFromResult(protocol);
+
+  std::string path = ::testing::TempDir() + "/mdrr_estimates_roundtrip.txt";
+  ASSERT_TRUE(WriteClusterEstimates(original, path).ok());
+  auto loaded = ReadClusterEstimates(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().num_attributes, original.num_attributes);
+  EXPECT_DOUBLE_EQ(loaded.value().num_records, original.num_records);
+  ASSERT_EQ(loaded.value().clusters, original.clusters);
+  ASSERT_EQ(loaded.value().joints.size(), original.joints.size());
+  for (size_t c = 0; c < original.joints.size(); ++c) {
+    ASSERT_EQ(loaded.value().joints[c].size(), original.joints[c].size());
+    for (size_t k = 0; k < original.joints[c].size(); ++k) {
+      // %.17g round-trips doubles exactly.
+      EXPECT_DOUBLE_EQ(loaded.value().joints[c][k], original.joints[c][k]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, QueriesThroughSerializedEstimatesMatchLive) {
+  Dataset ds = SynthesizeAdult(5000, 5);
+  RrClustersResult protocol = MakeProtocolResult(ds);
+
+  std::string path = ::testing::TempDir() + "/mdrr_estimates_query.txt";
+  ASSERT_TRUE(
+      WriteClusterEstimates(EstimatesFromResult(protocol), path).ok());
+  auto loaded = ReadClusterEstimates(path);
+  ASSERT_TRUE(loaded.ok());
+  auto revived = MakeEstimateFromSerialized(loaded.value(), ds);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+
+  ClusterFactorizationEstimate live = MakeClusterEstimate(protocol);
+  CountQuery query;
+  query.attributes = {kAdultRelationship, kAdultSex};
+  query.tuples = {{2, 1}, {0, 0}};
+  EXPECT_NEAR(revived.value().EstimateCount(query),
+              live.EstimateCount(query), 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsCorruptFiles) {
+  std::string path = ::testing::TempDir() + "/mdrr_estimates_corrupt.txt";
+  {
+    std::ofstream file(path);
+    file << "not an estimates file\n";
+  }
+  EXPECT_FALSE(ReadClusterEstimates(path).ok());
+
+  {
+    std::ofstream file(path);
+    file << "mdrr-estimates v1\nattributes 3\nn 100\nclusters 1\n";
+    // Missing cluster and joint lines.
+  }
+  EXPECT_FALSE(ReadClusterEstimates(path).ok());
+
+  {
+    std::ofstream file(path);
+    file << "mdrr-estimates v1\nattributes 2\nn 100\nclusters 1\n"
+         << "cluster 0 7\n"  // Index 7 out of range for 2 attributes.
+         << "joint 0.5 0.5\n";
+  }
+  EXPECT_FALSE(ReadClusterEstimates(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsMissingFile) {
+  EXPECT_FALSE(ReadClusterEstimates("/nonexistent/estimates.txt").ok());
+}
+
+TEST(SerializationTest, SchemaMismatchDetected) {
+  Dataset ds = SynthesizeAdult(1000, 9);
+  ClusterEstimates estimates = EstimatesFromResult(MakeProtocolResult(ds));
+
+  // Wrong attribute count.
+  Dataset projected = ds.Project({0, 1, 2});
+  EXPECT_FALSE(MakeEstimateFromSerialized(estimates, projected).ok());
+
+  // Tampered joint size.
+  ClusterEstimates tampered = estimates;
+  tampered.joints[0].push_back(0.0);
+  EXPECT_FALSE(MakeEstimateFromSerialized(tampered, ds).ok());
+
+  // Non-positive record count.
+  ClusterEstimates zero_n = estimates;
+  zero_n.num_records = 0;
+  EXPECT_FALSE(MakeEstimateFromSerialized(zero_n, ds).ok());
+}
+
+}  // namespace
+}  // namespace mdrr

@@ -1,0 +1,125 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/core/synthetic.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+TEST(ApportionCountsTest, SumsToN) {
+  std::vector<double> dist = {0.301, 0.299, 0.4};
+  for (int64_t n : {1, 7, 100, 32561}) {
+    std::vector<int64_t> counts = ApportionCounts(dist, n);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), n);
+  }
+}
+
+TEST(ApportionCountsTest, ExactQuotasPreserved) {
+  std::vector<int64_t> counts = ApportionCounts({0.25, 0.25, 0.5}, 100);
+  EXPECT_EQ(counts, (std::vector<int64_t>{25, 25, 50}));
+}
+
+TEST(ApportionCountsTest, LargestRemainderWins) {
+  // Quotas: 1.4, 1.4, 0.2 over n=3 -> floors 1,1,0; leftover 1 goes to a
+  // largest-remainder category (0.4 beats 0.2).
+  std::vector<int64_t> counts = ApportionCounts({1.4, 1.4, 0.2}, 3);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), 3);
+  EXPECT_EQ(counts[2], 0);
+}
+
+TEST(ApportionCountsTest, NegativeEntriesClamped) {
+  std::vector<int64_t> counts = ApportionCounts({0.6, -0.2, 0.6}, 10);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), 10);
+}
+
+TEST(ApportionCountsTest, DegenerateAllZeroSpreadsEvenly) {
+  std::vector<int64_t> counts = ApportionCounts({0.0, 0.0}, 4);
+  EXPECT_EQ(counts[0] + counts[1], 4);
+}
+
+Dataset MakeDataset(size_t n, uint64_t seed) {
+  std::vector<Attribute> schema = {
+      Attribute{"A", AttributeType::kNominal, {"0", "1", "2"}},
+      Attribute{"B", AttributeType::kNominal, {"0", "1"}},
+  };
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> cols(2);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Discrete({0.6, 0.3, 0.1}));
+    uint32_t b = rng.Bernoulli(0.8) ? (a == 0 ? 0u : 1u)
+                                    : static_cast<uint32_t>(rng.UniformInt(2));
+    cols[0].push_back(a);
+    cols[1].push_back(b);
+  }
+  return Dataset(schema, std::move(cols));
+}
+
+TEST(SyntheticTest, FromIndependentMatchesEstimatedMarginals) {
+  Dataset ds = MakeDataset(50000, 3);
+  Rng rng(5);
+  auto rr = RunRrIndependent(ds, RrIndependentOptions{0.7}, rng);
+  ASSERT_TRUE(rr.ok());
+
+  Rng synth_rng(7);
+  auto synthetic = SynthesizeFromIndependent(*rr, 10000, synth_rng);
+  ASSERT_TRUE(synthetic.ok());
+  EXPECT_EQ(synthetic.value().num_rows(), 10000u);
+
+  for (size_t j = 0; j < 2; ++j) {
+    std::vector<double> synth_marginal = EmpiricalDistribution(
+        synthetic.value().column(j), ds.attribute(j).cardinality());
+    for (size_t v = 0; v < synth_marginal.size(); ++v) {
+      // Deterministic apportionment: within 1/n of the estimate.
+      EXPECT_NEAR(synth_marginal[v], rr.value().estimated[j][v], 1e-3);
+    }
+  }
+}
+
+TEST(SyntheticTest, FromClustersPreservesWithinClusterJoint) {
+  Dataset ds = MakeDataset(80000, 11);
+  Rng rng(13);
+  RrClustersOptions options;
+  options.keep_probability = 0.8;
+  options.clustering = ClusteringOptions{6.0, 0.05};
+  auto rr = RunRrClusters(ds, options, rng);
+  ASSERT_TRUE(rr.ok());
+  ASSERT_EQ(rr.value().clusters.size(), 1u);  // A and B cluster together.
+
+  Rng synth_rng(17);
+  const int64_t n = 20000;
+  auto synthetic = SynthesizeFromClusters(*rr, n, synth_rng);
+  ASSERT_TRUE(synthetic.ok());
+
+  // The synthetic joint must match the estimated cluster joint.
+  const RrJointResult& joint = rr.value().cluster_results[0];
+  std::vector<double> synth_joint(6, 0.0);
+  for (size_t i = 0; i < synthetic.value().num_rows(); ++i) {
+    uint32_t code = static_cast<uint32_t>(joint.domain.Encode(
+        {synthetic.value().at(i, 0), synthetic.value().at(i, 1)}));
+    synth_joint[code] += 1.0 / static_cast<double>(n);
+  }
+  for (size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(synth_joint[k], joint.estimated[k], 1e-3) << "cell " << k;
+  }
+}
+
+TEST(SyntheticTest, RejectsNonPositiveN) {
+  Dataset ds = MakeDataset(100, 19);
+  Rng rng(23);
+  auto rr = RunRrIndependent(ds, RrIndependentOptions{0.7}, rng);
+  ASSERT_TRUE(rr.ok());
+  Rng synth_rng(29);
+  EXPECT_FALSE(SynthesizeFromIndependent(*rr, 0, synth_rng).ok());
+  EXPECT_FALSE(SynthesizeFromIndependent(*rr, -5, synth_rng).ok());
+}
+
+}  // namespace
+}  // namespace mdrr
