@@ -5,6 +5,7 @@
 #ifndef MDRR_BENCH_BENCH_UTIL_H_
 #define MDRR_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -44,6 +45,24 @@ inline int RunsFlag(const FlagSet& flags, int default_runs = 25) {
 inline void PrintHeader(const char* title) {
   std::printf("=== %s ===\n", title);
 }
+
+// Wall-clock stopwatch for coarse pipeline timings (the google-benchmark
+// microbenches handle the fine-grained ones).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace mdrr::bench
 

@@ -1,0 +1,60 @@
+// Parallel batch perturbation: the BatchPerturbationEngine sharding a
+// large synthetic Adult workload across worker threads.
+//
+// The engine gives every fixed-size shard of records its own deterministic
+// RNG sub-stream, so the released data and the estimates are bit-identical
+// for any thread count -- this example runs the same release at 1 thread
+// and at one-thread-per-core and checks that claim before printing the
+// estimated marginal of one attribute.
+//
+// Build & run:  ./build/example_parallel_batch [--n=200000] [--p=0.7]
+
+#include <cstdio>
+#include <vector>
+
+#include "mdrr/common/flags.h"
+#include "mdrr/core/batch_engine.h"
+#include "mdrr/dataset/adult.h"
+
+int main(int argc, char** argv) {
+  mdrr::FlagSet flags;
+  flags.Parse(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 200000));
+  const double p = flags.GetDouble("p", 0.7);
+
+  mdrr::Dataset data = mdrr::SynthesizeAdult(n, /*seed=*/2020);
+  std::printf("workload: %zu synthetic Adult records, %zu attributes\n",
+              data.num_rows(), data.num_attributes());
+
+  mdrr::BatchPerturbationOptions options;
+  options.seed = 1;
+  options.num_threads = 1;
+  mdrr::BatchPerturbationEngine sequential(options);
+  options.num_threads = 0;  // One worker per hardware core.
+  mdrr::BatchPerturbationEngine parallel(options);
+
+  auto one = sequential.RunIndependent(data, mdrr::RrIndependentOptions{p});
+  auto many = parallel.RunIndependent(data, mdrr::RrIndependentOptions{p});
+  if (!one.ok() || !many.ok()) {
+    std::fprintf(stderr, "release failed\n");
+    return 1;
+  }
+
+  bool identical = one.value().estimated == many.value().estimated;
+  for (size_t j = 0; identical && j < data.num_attributes(); ++j) {
+    identical = one.value().randomized.column(j) ==
+                many.value().randomized.column(j);
+  }
+  std::printf("1 thread vs all cores bit-identical: %s\n",
+              identical ? "yes" : "NO");
+  if (!identical) return 1;
+
+  const mdrr::Attribute& a = data.attribute(0);
+  std::printf("estimated marginal of '%s' (eps_total = %.3f):\n",
+              a.name.c_str(), many.value().total_epsilon);
+  for (size_t v = 0; v < a.cardinality(); ++v) {
+    std::printf("  %-24s %.4f\n", a.categories[v].c_str(),
+                many.value().estimated[0][v]);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Chunked parallel-for over an index range.
+//
+// The range [0, n) is split into fixed-size chunks that workers claim
+// atomically, so the chunk decomposition -- and therefore anything keyed
+// on chunk_index, like an RNG sub-stream -- is independent of the worker
+// count. Callers that write output do so into disjoint [begin, end)
+// slices and need no synchronization.
+
+#ifndef MDRR_COMMON_PARALLEL_H_
+#define MDRR_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace mdrr {
+
+// Invokes fn(worker_id, chunk_index, begin, end) for every chunk
+// [c * chunk_size, min(n, (c + 1) * chunk_size)) of [0, n).
+// `num_threads` 0 means one worker per hardware core; the worker count is
+// clamped to the chunk count and worker 0 is the calling thread.
+// Precondition: chunk_size > 0. `fn` must be safe to call concurrently.
+void ParallelChunks(size_t n, size_t chunk_size, size_t num_threads,
+                    const std::function<void(size_t worker_id,
+                                             size_t chunk_index, size_t begin,
+                                             size_t end)>& fn);
+
+// Number of chunks ParallelChunks uses for a range of `n` (>= 1; the last
+// chunk may be short). Precondition: chunk_size > 0.
+size_t NumChunks(size_t n, size_t chunk_size);
+
+// The worker count ParallelChunks resolves `num_threads` to for `n`
+// elements in chunks of `chunk_size` (0 -> hardware concurrency, then
+// clamped to the chunk count).
+size_t ResolveWorkerCount(size_t num_threads, size_t n, size_t chunk_size);
+
+}  // namespace mdrr
+
+#endif  // MDRR_COMMON_PARALLEL_H_

@@ -1,0 +1,117 @@
+#include "mdrr/core/batch_engine.h"
+
+#include <utility>
+
+#include "mdrr/common/parallel.h"
+#include "mdrr/core/perturber.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/stats/frequency.h"
+
+namespace mdrr {
+
+namespace {
+
+// Randomizes `input` through `matrix`, shard by shard. Shard s covers
+// rows [s * shard_size, min(n, (s + 1) * shard_size)) and draws
+// exclusively from family.Stream(stream_base + s), so the output is a
+// pure function of (matrix, input, family, stream_base, shard_size).
+// Counts are accumulated per *worker* (O(threads x r) memory, not
+// O(shards x r) -- joint domains can be huge) and merged after the join;
+// integer sums commute, so the totals are deterministic even though the
+// shard-to-worker assignment is not.
+PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
+                                     const std::vector<uint32_t>& input,
+                                     const RngStreamFamily& family,
+                                     uint64_t stream_base, size_t shard_size,
+                                     size_t num_threads) {
+  const size_t n = input.size();
+  PerturbedColumn result;
+  result.codes.resize(n);
+
+  const size_t workers = ResolveWorkerCount(num_threads, n, shard_size);
+  std::vector<std::vector<int64_t>> worker_counts(
+      workers, std::vector<int64_t>(matrix.size(), 0));
+
+  ParallelChunks(n, shard_size, num_threads,
+                 [&](size_t worker, size_t shard, size_t begin, size_t end) {
+                   Rng rng = family.Stream(stream_base + shard);
+                   matrix.RandomizeRangeInto(input, begin, end, rng,
+                                             result.codes.data(),
+                                             worker_counts[worker].data());
+                 });
+
+  stats::FrequencyTable total(std::vector<int64_t>(matrix.size(), 0));
+  for (std::vector<int64_t>& partial : worker_counts) {
+    total.Absorb(stats::FrequencyTable(std::move(partial)));
+  }
+  result.lambda = total.Proportions();
+  return result;
+}
+
+}  // namespace
+
+BatchPerturbationEngine::BatchPerturbationEngine(
+    const BatchPerturbationOptions& options)
+    : options_(options) {
+  if (options_.shard_size == 0) options_.shard_size = 1;
+}
+
+size_t BatchPerturbationEngine::NumShards(size_t num_rows) const {
+  return NumChunks(num_rows, options_.shard_size);
+}
+
+StatusOr<RrIndependentResult> BatchPerturbationEngine::RunIndependent(
+    const Dataset& dataset, const RrIndependentOptions& options) const {
+  const size_t num_shards = NumShards(dataset.num_rows());
+  RngStreamFamily family(options_.seed);
+  return RunRrIndependentWith(
+      dataset, options,
+      [this, &family, num_shards](const RrMatrix& matrix,
+                                  const std::vector<uint32_t>& codes,
+                                  size_t column_index) {
+        return PerturbColumnSharded(matrix, codes, family,
+                                    1 + column_index * num_shards,
+                                    options_.shard_size,
+                                    options_.num_threads);
+      });
+}
+
+StatusOr<RrJointResult> BatchPerturbationEngine::RunJoint(
+    const Dataset& dataset, const std::vector<size_t>& attributes,
+    double epsilon) const {
+  RngStreamFamily family(options_.seed);
+  return RunRrJointWith(
+      dataset, attributes, epsilon,
+      [this, &family](const RrMatrix& matrix,
+                      const std::vector<uint32_t>& codes,
+                      size_t /*column_index*/) {
+        return PerturbColumnSharded(matrix, codes, family, /*stream_base=*/1,
+                                    options_.shard_size,
+                                    options_.num_threads);
+      });
+}
+
+StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
+    const Dataset& dataset, const RrClustersOptions& options) const {
+  const size_t num_shards = NumShards(dataset.num_rows());
+  RngStreamFamily family(options_.seed);
+  Rng serial_rng = family.Stream(0);
+  return RunRrClustersWith(
+      dataset, options, serial_rng,
+      [this, &dataset, &family, num_shards](
+          const std::vector<size_t>& cluster, double budget,
+          size_t cluster_index) {
+        return RunRrJointWith(
+            dataset, cluster, budget,
+            [this, &family, num_shards, cluster_index](
+                const RrMatrix& matrix, const std::vector<uint32_t>& codes,
+                size_t /*column_index*/) {
+              return PerturbColumnSharded(
+                  matrix, codes, family, 1 + cluster_index * num_shards,
+                  options_.shard_size, options_.num_threads);
+            });
+      },
+      options_.num_threads);
+}
+
+}  // namespace mdrr

@@ -1,0 +1,78 @@
+// Multi-threaded batch driver for the three release protocols.
+//
+// The column protocols (RunRrIndependent, RunRrJoint, RunRrClusters) pull
+// every random bit from one sequential Rng, so they cannot be parallelized
+// without changing their output. The engine instead shards the records
+// into fixed-size batches and gives shard s its own deterministic
+// sub-stream (RngStreamFamily) for both perturbation and the shard's
+// frequency counts. Shard boundaries and stream indices depend only on
+// the record count and options.shard_size -- never on options.num_threads
+// -- so a run's output is bit-identical for any thread count, including
+// one. Against the sequential protocols the estimates agree statistically
+// (same matrices, same estimator) but not bit-for-bit: the random bits
+// come from different streams.
+//
+// Stream layout for seed s: stream 0 is reserved for serial randomness
+// (the dependence-assessment round of RunClusters); perturbed column c
+// (attribute for Independent, cluster for Clusters, the composite column
+// for Joint) uses streams [1 + c * num_shards, 1 + (c + 1) * num_shards).
+
+#ifndef MDRR_CORE_BATCH_ENGINE_H_
+#define MDRR_CORE_BATCH_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/core/rr_joint.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+struct BatchPerturbationOptions {
+  uint64_t seed = 1;
+  // Worker threads; 0 means one per hardware core. Never changes results.
+  size_t num_threads = 0;
+  // Records per shard: the unit of work distribution and of RNG
+  // sub-stream assignment. Part of the randomness contract -- changing it
+  // reassigns records to streams, like changing the seed. 0 is clamped
+  // to 1.
+  size_t shard_size = 1 << 16;
+};
+
+class BatchPerturbationEngine {
+ public:
+  explicit BatchPerturbationEngine(const BatchPerturbationOptions& options);
+
+  // Parallel Protocol 1: same result contract as RunRrIndependent.
+  StatusOr<RrIndependentResult> RunIndependent(
+      const Dataset& dataset, const RrIndependentOptions& options) const;
+
+  // Parallel Protocol 2: same result contract as RunRrJoint.
+  StatusOr<RrJointResult> RunJoint(const Dataset& dataset,
+                                   const std::vector<size_t>& attributes,
+                                   double epsilon) const;
+
+  // Parallel RR-Clusters: same result contract as RunRrClusters. The
+  // dependence-assessment round is inherently sequential (it is one
+  // privacy-budgeted interaction, not a per-record map) and runs on
+  // stream 0; the per-cluster joint randomization is sharded.
+  StatusOr<RrClustersResult> RunClusters(
+      const Dataset& dataset, const RrClustersOptions& options) const;
+
+  // Shards used for a column of `num_rows` records (>= 1; the last shard
+  // may be short). Exposed for tests and capacity planning.
+  size_t NumShards(size_t num_rows) const;
+
+  const BatchPerturbationOptions& options() const { return options_; }
+
+ private:
+  BatchPerturbationOptions options_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_BATCH_ENGINE_H_

@@ -1,0 +1,17 @@
+#include "mdrr/core/perturber.h"
+
+#include "mdrr/core/estimator.h"
+
+namespace mdrr {
+
+ColumnPerturber SequentialPerturber(Rng& rng) {
+  return [&rng](const RrMatrix& matrix, const std::vector<uint32_t>& codes,
+                size_t /*column_index*/) {
+    PerturbedColumn result;
+    result.codes = matrix.RandomizeColumn(codes, rng);
+    result.lambda = EmpiricalDistribution(result.codes, matrix.size());
+    return result;
+  };
+}
+
+}  // namespace mdrr

@@ -1,10 +1,17 @@
 #include "mdrr/core/rr_clusters.h"
 
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
 
 namespace mdrr {
 
 namespace {
+
+// Rows per decode work unit; purely a load-balancing grain (the decode
+// draws no randomness, so it is deterministic at any granularity).
+constexpr size_t kDecodeChunkSize = 1 << 16;
+
+}  // namespace
 
 StatusOr<DependenceEstimate> AssessDependences(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng) {
@@ -37,11 +44,21 @@ StatusOr<DependenceEstimate> AssessDependences(
   return Status::Internal("unknown dependence source");
 }
 
-}  // namespace
-
 StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
                                          const RrClustersOptions& options,
                                          Rng& rng) {
+  return RunRrClustersWith(
+      dataset, options, rng,
+      [&dataset, &rng](const std::vector<size_t>& cluster, double budget,
+                       size_t /*cluster_index*/) {
+        return RunRrJoint(dataset, cluster, budget, rng);
+      },
+      /*decode_threads=*/1);
+}
+
+StatusOr<RrClustersResult> RunRrClustersWith(
+    const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
+    const ClusterJointRunner& joint_runner, size_t decode_threads) {
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot run RR-Clusters on empty data");
   }
@@ -59,22 +76,28 @@ StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
   result.dependence_epsilon = dependences.epsilon;
   result.randomized = dataset;
 
-  for (const std::vector<size_t>& cluster : clusters) {
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    const std::vector<size_t>& cluster = clusters[c];
     double budget =
         ClusterEpsilonBudget(dataset, cluster, options.keep_probability,
                              options.use_paper_epsilon_formula);
     MDRR_ASSIGN_OR_RETURN(RrJointResult joint,
-                          RunRrJoint(dataset, cluster, budget, rng));
+                          joint_runner(cluster, budget, c));
     result.release_epsilon += joint.epsilon;
 
     // Decode the composite randomized codes back into per-attribute
-    // columns of Y.
+    // columns of Y. Rows are independent, so the decode shards freely.
     for (size_t position = 0; position < cluster.size(); ++position) {
       std::vector<uint32_t> column(dataset.num_rows());
-      for (size_t row = 0; row < column.size(); ++row) {
-        column[row] =
-            joint.domain.DecodeAt(joint.randomized_codes[row], position);
-      }
+      ParallelChunks(
+          dataset.num_rows(), kDecodeChunkSize, decode_threads,
+          [&joint, &column, position](size_t /*worker*/, size_t /*chunk*/,
+                                      size_t begin, size_t end) {
+            for (size_t row = begin; row < end; ++row) {
+              column[row] = joint.domain.DecodeAt(
+                  joint.randomized_codes[row], position);
+            }
+          });
       result.randomized.SetColumn(cluster[position], std::move(column));
     }
     result.cluster_results.push_back(std::move(joint));

@@ -7,6 +7,7 @@
 #define MDRR_CORE_RR_CLUSTERS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mdrr/common/status_or.h"
@@ -56,11 +57,35 @@ struct RrClustersResult {
   linalg::Matrix dependences;
 };
 
+// Runs the configured dependence-assessment round (the building block
+// RunRrClusters and BatchPerturbationEngine share). Fails if
+// dependence_source is kProvided with no matrix supplied.
+StatusOr<DependenceEstimate> AssessDependences(const Dataset& dataset,
+                                               const RrClustersOptions& options,
+                                               Rng& rng);
+
 // Runs the full RR-Clusters protocol. Fails on empty data or if a
 // dependence estimator fails.
 StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
                                          const RrClustersOptions& options,
                                          Rng& rng);
+
+// Runs RR-Joint for one cluster at its epsilon budget. `cluster_index` is
+// the cluster's position in the clustering, so implementations can key
+// disjoint RNG sub-stream ranges off it.
+using ClusterJointRunner = std::function<StatusOr<RrJointResult>(
+    const std::vector<size_t>& cluster, double epsilon_budget,
+    size_t cluster_index)>;
+
+// The protocol frame behind RunRrClusters, with the per-cluster joint
+// release pluggable (BatchPerturbationEngine substitutes a sharded
+// runner). `rng` drives the dependence-assessment round;
+// `decode_threads` parallelizes the decode of composite randomized codes
+// back to per-attribute columns (0 = one worker per core; the decode is
+// deterministic at any thread count).
+StatusOr<RrClustersResult> RunRrClustersWith(
+    const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
+    const ClusterJointRunner& joint_runner, size_t decode_threads);
 
 // The RR-Clusters joint-query estimator (independent clusters, estimated
 // joint within each cluster).

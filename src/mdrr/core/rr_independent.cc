@@ -7,6 +7,12 @@ namespace mdrr {
 
 StatusOr<RrIndependentResult> RunRrIndependent(
     const Dataset& dataset, const RrIndependentOptions& options, Rng& rng) {
+  return RunRrIndependentWith(dataset, options, SequentialPerturber(rng));
+}
+
+StatusOr<RrIndependentResult> RunRrIndependentWith(
+    const Dataset& dataset, const RrIndependentOptions& options,
+    const ColumnPerturber& perturber) {
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot run RR-Independent on empty data");
   }
@@ -21,10 +27,9 @@ StatusOr<RrIndependentResult> RunRrIndependent(
   for (size_t j = 0; j < m; ++j) {
     const size_t r = dataset.attribute(j).cardinality();
     RrMatrix matrix = RrMatrix::KeepUniform(r, options.keep_probability);
-    result.randomized.SetColumn(
-        j, matrix.RandomizeColumn(dataset.column(j), rng));
-    result.lambda[j] =
-        EmpiricalDistribution(result.randomized.column(j), r);
+    PerturbedColumn column = perturber(matrix, dataset.column(j), j);
+    result.randomized.SetColumn(j, std::move(column.codes));
+    result.lambda[j] = std::move(column.lambda);
     MDRR_ASSIGN_OR_RETURN(result.raw_estimated[j],
                           EstimateDistribution(matrix, result.lambda[j]));
     result.estimated[j] = ProjectToSimplex(result.raw_estimated[j]);

@@ -11,6 +11,7 @@
 
 #include "mdrr/common/status_or.h"
 #include "mdrr/core/joint_estimate.h"
+#include "mdrr/core/perturber.h"
 #include "mdrr/dataset/dataset.h"
 #include "mdrr/rng/rng.h"
 
@@ -40,6 +41,13 @@ struct RrIndependentResult {
 // Runs Protocol 1. Fails on an empty dataset.
 StatusOr<RrIndependentResult> RunRrIndependent(
     const Dataset& dataset, const RrIndependentOptions& options, Rng& rng);
+
+// The protocol frame behind RunRrIndependent, with the randomization step
+// pluggable (BatchPerturbationEngine substitutes a sharded perturber that
+// keys RNG sub-streams off the attribute index).
+StatusOr<RrIndependentResult> RunRrIndependentWith(
+    const Dataset& dataset, const RrIndependentOptions& options,
+    const ColumnPerturber& perturber);
 
 // The Protocol 1 joint-query estimator (product of estimated marginals).
 IndependentMarginalsEstimate MakeIndependentEstimate(

@@ -21,6 +21,14 @@ double ClusterEpsilonBudget(const Dataset& dataset,
 StatusOr<RrJointResult> RunRrJoint(const Dataset& dataset,
                                    const std::vector<size_t>& attributes,
                                    double epsilon, Rng& rng) {
+  return RunRrJointWith(dataset, attributes, epsilon,
+                        SequentialPerturber(rng));
+}
+
+StatusOr<RrJointResult> RunRrJointWith(const Dataset& dataset,
+                                       const std::vector<size_t>& attributes,
+                                       double epsilon,
+                                       const ColumnPerturber& perturber) {
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot run RR-Joint on empty data");
   }
@@ -40,8 +48,9 @@ StatusOr<RrJointResult> RunRrJoint(const Dataset& dataset,
   std::vector<uint32_t> true_codes = domain.ComposeColumns(dataset, attributes);
 
   RrJointResult result{attributes, domain, {}, {}, {}, {}, 0.0};
-  result.randomized_codes = matrix.RandomizeColumn(true_codes, rng);
-  result.lambda = EmpiricalDistribution(result.randomized_codes, r);
+  PerturbedColumn column = perturber(matrix, true_codes, 0);
+  result.randomized_codes = std::move(column.codes);
+  result.lambda = std::move(column.lambda);
   MDRR_ASSIGN_OR_RETURN(result.raw_estimated,
                         EstimateDistribution(matrix, result.lambda));
   result.estimated = ProjectToSimplex(result.raw_estimated);

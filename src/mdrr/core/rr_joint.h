@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mdrr/common/status_or.h"
+#include "mdrr/core/perturber.h"
 #include "mdrr/dataset/dataset.h"
 #include "mdrr/dataset/domain.h"
 #include "mdrr/rng/rng.h"
@@ -47,6 +48,14 @@ double ClusterEpsilonBudget(const Dataset& dataset,
 StatusOr<RrJointResult> RunRrJoint(const Dataset& dataset,
                                    const std::vector<size_t>& attributes,
                                    double epsilon, Rng& rng);
+
+// The protocol frame behind RunRrJoint, with the randomization step
+// pluggable (BatchPerturbationEngine substitutes a sharded perturber).
+// RunRrJoint(..., rng) == RunRrJointWith(..., SequentialPerturber(rng)).
+StatusOr<RrJointResult> RunRrJointWith(const Dataset& dataset,
+                                       const std::vector<size_t>& attributes,
+                                       double epsilon,
+                                       const ColumnPerturber& perturber);
 
 }  // namespace mdrr
 

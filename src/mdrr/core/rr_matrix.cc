@@ -134,6 +134,17 @@ std::vector<uint32_t> RrMatrix::RandomizeColumn(
   return result;
 }
 
+void RrMatrix::RandomizeRangeInto(const std::vector<uint32_t>& codes,
+                                  size_t begin, size_t end, Rng& rng,
+                                  uint32_t* out, int64_t* counts) const {
+  MDRR_CHECK_LE(end, codes.size());
+  for (size_t i = begin; i < end; ++i) {
+    uint32_t y = Randomize(codes[i], rng);
+    out[i] = y;
+    if (counts != nullptr) ++counts[y];
+  }
+}
+
 double RrMatrix::Epsilon() const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   if (structured_) {

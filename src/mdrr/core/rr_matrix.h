@@ -79,6 +79,16 @@ class RrMatrix {
   std::vector<uint32_t> RandomizeColumn(const std::vector<uint32_t>& codes,
                                         Rng& rng) const;
 
+  // Randomizes codes[begin, end) into out[begin, end) and, if `counts` is
+  // non-null, accumulates the frequency of each output category into
+  // counts[0, size()). The range form lets shard workers fill disjoint
+  // slices of one shared output column without synchronization
+  // (BatchPerturbationEngine). Preconditions: end <= codes.size(), `out`
+  // has room for index end - 1.
+  void RandomizeRangeInto(const std::vector<uint32_t>& codes, size_t begin,
+                          size_t end, Rng& rng, uint32_t* out,
+                          int64_t* counts) const;
+
   // The differential privacy level of Expression (4):
   // eps = ln max_v (max_u p_uv / min_u p_uv). +inf if any column contains
   // a zero below a positive entry.

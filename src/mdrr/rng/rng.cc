@@ -88,4 +88,16 @@ Rng Rng::Fork() {
   return Rng(child_seed);
 }
 
+RngStreamFamily::RngStreamFamily(uint64_t base_seed)
+    : base_seed_(base_seed) {}
+
+Rng RngStreamFamily::Stream(uint64_t index) const {
+  // Whiten the index before mixing it with the base seed so streams
+  // 0, 1, 2, ... are as unrelated as random seeds, then whiten the
+  // mixture once more (the Rng constructor expands it further).
+  uint64_t index_state = index;
+  uint64_t mixed = base_seed_ ^ SplitMix64Next(index_state);
+  return Rng(SplitMix64Next(mixed));
+}
+
 }  // namespace mdrr

@@ -51,6 +51,27 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// A deterministic family of independent sub-streams derived from one base
+// seed. Stream(i) depends only on (base_seed, i) -- never on how many
+// streams exist or the order they are requested -- so sharded workloads
+// can hand each shard its own generator and produce bit-identical output
+// for any thread count. Unlike Rng::Fork, which advances the parent and
+// therefore ties child streams to the sequence of Fork calls, a family is
+// immutable and safe to share across threads.
+class RngStreamFamily {
+ public:
+  explicit RngStreamFamily(uint64_t base_seed);
+
+  // The index-th sub-stream, in its initial state. Pure function of
+  // (base_seed, index).
+  Rng Stream(uint64_t index) const;
+
+  uint64_t base_seed() const { return base_seed_; }
+
+ private:
+  uint64_t base_seed_;
+};
+
 }  // namespace mdrr
 
 #endif  // MDRR_RNG_RNG_H_

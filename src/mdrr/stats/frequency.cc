@@ -25,6 +25,14 @@ FrequencyTable::FrequencyTable(std::vector<int64_t> counts)
   }
 }
 
+void FrequencyTable::Absorb(const FrequencyTable& other) {
+  MDRR_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 std::vector<double> FrequencyTable::Proportions() const {
   std::vector<double> proportions(counts_.size(), 0.0);
   if (total_ == 0) return proportions;

@@ -28,6 +28,11 @@ class FrequencyTable {
   // Empirical distribution λ̂ (all zeros if total() == 0).
   std::vector<double> Proportions() const;
 
+  // Adds another table's counts into this one (shard-wise counting:
+  // count shards independently, then Absorb the partial tables).
+  // Precondition: same num_categories().
+  void Absorb(const FrequencyTable& other);
+
  private:
   std::vector<int64_t> counts_;
   int64_t total_;

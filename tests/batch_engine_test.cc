@@ -1,0 +1,180 @@
+#include "mdrr/core/batch_engine.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/rr_independent.h"
+#include "mdrr/dataset/adult.h"
+#include "mdrr/dataset/attribute.h"
+#include "mdrr/dataset/dataset.h"
+
+namespace mdrr {
+namespace {
+
+BatchPerturbationEngine MakeEngine(size_t num_threads, size_t shard_size,
+                                   uint64_t seed = 42) {
+  BatchPerturbationOptions options;
+  options.seed = seed;
+  options.num_threads = num_threads;
+  options.shard_size = shard_size;
+  return BatchPerturbationEngine(options);
+}
+
+Dataset SmallData(size_t n = 2000) { return SynthesizeAdult(n, 2020); }
+
+void ExpectSameDataset(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_attributes(), b.num_attributes());
+  for (size_t j = 0; j < a.num_attributes(); ++j) {
+    EXPECT_EQ(a.column(j), b.column(j)) << "column " << j;
+  }
+}
+
+TEST(BatchEngineTest, IndependentIsBitIdenticalAcrossThreadCounts) {
+  Dataset data = SmallData();
+  RrIndependentOptions options{0.7};
+  auto baseline = MakeEngine(1, 256).RunIndependent(data, options);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : {2u, 3u, 8u}) {
+    auto run = MakeEngine(threads, 256).RunIndependent(data, options);
+    ASSERT_TRUE(run.ok()) << "threads=" << threads;
+    ExpectSameDataset(baseline.value().randomized, run.value().randomized);
+    EXPECT_EQ(baseline.value().lambda, run.value().lambda);
+    EXPECT_EQ(baseline.value().estimated, run.value().estimated);
+    EXPECT_EQ(baseline.value().total_epsilon, run.value().total_epsilon);
+  }
+}
+
+TEST(BatchEngineTest, JointIsBitIdenticalAcrossThreadCounts) {
+  Dataset data = SmallData();
+  std::vector<size_t> attributes = {1, 3};
+  auto baseline = MakeEngine(1, 128).RunJoint(data, attributes, 4.0);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : {2u, 5u}) {
+    auto run = MakeEngine(threads, 128).RunJoint(data, attributes, 4.0);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(baseline.value().randomized_codes,
+              run.value().randomized_codes);
+    EXPECT_EQ(baseline.value().estimated, run.value().estimated);
+  }
+}
+
+TEST(BatchEngineTest, ClustersIsBitIdenticalAcrossThreadCounts) {
+  Dataset data = SmallData();
+  RrClustersOptions options;
+  options.keep_probability = 0.7;
+  // In-protocol dependence assessment exercises the serial stream too.
+  options.dependence_source = DependenceSource::kRandomizedResponse;
+  auto baseline = MakeEngine(1, 200).RunClusters(data, options);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : {2u, 7u}) {
+    auto run = MakeEngine(threads, 200).RunClusters(data, options);
+    ASSERT_TRUE(run.ok());
+    ASSERT_EQ(baseline.value().clusters, run.value().clusters);
+    ExpectSameDataset(baseline.value().randomized, run.value().randomized);
+    EXPECT_EQ(baseline.value().release_epsilon, run.value().release_epsilon);
+    EXPECT_EQ(baseline.value().dependence_epsilon,
+              run.value().dependence_epsilon);
+    ASSERT_EQ(baseline.value().cluster_results.size(),
+              run.value().cluster_results.size());
+    for (size_t c = 0; c < baseline.value().cluster_results.size(); ++c) {
+      EXPECT_EQ(baseline.value().cluster_results[c].estimated,
+                run.value().cluster_results[c].estimated);
+    }
+  }
+}
+
+TEST(BatchEngineTest, EmptyDatasetFails) {
+  Dataset empty(std::vector<Attribute>{
+      Attribute{"a", AttributeType::kNominal, {"0", "1"}}});
+  BatchPerturbationEngine engine = MakeEngine(4, 64);
+  EXPECT_FALSE(engine.RunIndependent(empty, RrIndependentOptions{0.7}).ok());
+  EXPECT_FALSE(engine.RunJoint(empty, {0}, 1.0).ok());
+  EXPECT_FALSE(engine.RunClusters(empty, RrClustersOptions{}).ok());
+}
+
+TEST(BatchEngineTest, ShardCountExceedingRecordCountWorks) {
+  Dataset data = SmallData(7);
+  // shard_size 1 => 7 shards; more threads than shards and more shards
+  // than any thread will claim.
+  auto tiny_shards = MakeEngine(16, 1).RunIndependent(data, {0.7});
+  ASSERT_TRUE(tiny_shards.ok());
+  auto same = MakeEngine(1, 1).RunIndependent(data, {0.7});
+  ASSERT_TRUE(same.ok());
+  ExpectSameDataset(tiny_shards.value().randomized, same.value().randomized);
+}
+
+TEST(BatchEngineTest, SingleShardWhenShardSizeExceedsRecords) {
+  Dataset data = SmallData(100);
+  BatchPerturbationEngine engine = MakeEngine(4, 1 << 20);
+  EXPECT_EQ(engine.NumShards(data.num_rows()), 1u);
+  EXPECT_TRUE(engine.RunIndependent(data, {0.7}).ok());
+}
+
+TEST(BatchEngineTest, ZeroShardSizeIsClampedToOne) {
+  BatchPerturbationEngine engine = MakeEngine(2, 0);
+  EXPECT_EQ(engine.options().shard_size, 1u);
+  EXPECT_EQ(engine.NumShards(5), 5u);
+}
+
+TEST(BatchEngineTest, HardwareThreadCountRuns) {
+  Dataset data = SmallData(500);
+  auto run = MakeEngine(0, 64).RunIndependent(data, {0.7});
+  ASSERT_TRUE(run.ok());
+  auto baseline = MakeEngine(1, 64).RunIndependent(data, {0.7});
+  ASSERT_TRUE(baseline.ok());
+  ExpectSameDataset(run.value().randomized, baseline.value().randomized);
+}
+
+TEST(BatchEngineTest, LambdaMatchesRandomizedColumnScan) {
+  Dataset data = SmallData(1234);
+  auto run = MakeEngine(3, 100).RunIndependent(data, {0.6});
+  ASSERT_TRUE(run.ok());
+  for (size_t j = 0; j < data.num_attributes(); ++j) {
+    std::vector<double> rescanned =
+        EmpiricalDistribution(run.value().randomized.column(j),
+                              data.attribute(j).cardinality());
+    ASSERT_EQ(run.value().lambda[j].size(), rescanned.size());
+    for (size_t v = 0; v < rescanned.size(); ++v) {
+      // The engine divides counts by n; EmpiricalDistribution multiplies
+      // by 1/n -- equal up to rounding, not bitwise.
+      EXPECT_DOUBLE_EQ(run.value().lambda[j][v], rescanned[v])
+          << "attribute " << j << " category " << v;
+    }
+  }
+}
+
+TEST(BatchEngineTest, DifferentSeedsGiveDifferentReleases) {
+  Dataset data = SmallData(500);
+  auto a = MakeEngine(2, 64, 1).RunIndependent(data, {0.7});
+  auto b = MakeEngine(2, 64, 2).RunIndependent(data, {0.7});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = false;
+  for (size_t j = 0; j < data.num_attributes(); ++j) {
+    if (a.value().randomized.column(j) != b.value().randomized.column(j)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BatchEngineTest, MatchesSequentialMatrixDesign) {
+  // Same matrices as the sequential protocol => identical epsilons.
+  Dataset data = SmallData(300);
+  Rng rng(9);
+  auto sequential = RunRrIndependent(data, {0.7}, rng);
+  ASSERT_TRUE(sequential.ok());
+  auto batched = MakeEngine(2, 64).RunIndependent(data, {0.7});
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ(sequential.value().epsilons, batched.value().epsilons);
+  EXPECT_EQ(sequential.value().total_epsilon,
+            batched.value().total_epsilon);
+}
+
+}  // namespace
+}  // namespace mdrr

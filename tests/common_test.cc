@@ -1,6 +1,13 @@
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "mdrr/common/flags.h"
+#include "mdrr/common/parallel.h"
 #include "mdrr/common/status.h"
 #include "mdrr/common/status_or.h"
 #include "mdrr/common/string_util.h"
@@ -137,6 +144,54 @@ TEST(FlagsTest, DefaultsAndMalformedValues) {
   EXPECT_EQ(flags.GetInt("runs", 7), 7);       // Malformed -> default.
   EXPECT_EQ(flags.GetInt("missing", 9), 9);    // Missing -> default.
   EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(ParallelChunksTest, CoversEveryIndexExactlyOnce) {
+  const size_t n = 1003;
+  std::vector<std::atomic<int>> touched(n);
+  for (auto& t : touched) t = 0;
+  ParallelChunks(n, 64, 4,
+                 [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                     size_t end) {
+                   for (size_t i = begin; i < end; ++i) ++touched[i];
+                 });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelChunksTest, ChunkDecompositionIsIndependentOfWorkerCount) {
+  const size_t n = 500;
+  const size_t chunk_size = 33;
+  for (size_t threads : {1u, 2u, 7u, 0u}) {
+    std::mutex mu;
+    std::set<std::vector<size_t>> chunks;
+    ParallelChunks(n, chunk_size, threads,
+                   [&](size_t /*worker*/, size_t chunk, size_t begin,
+                       size_t end) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     chunks.insert({chunk, begin, end});
+                   });
+    EXPECT_EQ(chunks.size(), NumChunks(n, chunk_size));
+    for (const auto& c : chunks) {
+      EXPECT_EQ(c[1], c[0] * chunk_size);
+      EXPECT_EQ(c[2], std::min(n, c[1] + chunk_size));
+    }
+  }
+}
+
+TEST(ParallelChunksTest, EmptyRangeAndWorkerClamping) {
+  // n = 0 still makes one (empty) chunk; workers are clamped to chunks.
+  EXPECT_EQ(NumChunks(0, 10), 1u);
+  EXPECT_EQ(ResolveWorkerCount(16, 5, 10), 1u);
+  EXPECT_GE(ResolveWorkerCount(0, 1000, 10), 1u);
+  int calls = 0;
+  ParallelChunks(0, 10, 8,
+                 [&](size_t, size_t, size_t begin, size_t end) {
+                   ++calls;
+                   EXPECT_EQ(begin, end);
+                 });
+  EXPECT_EQ(calls, 1);
 }
 
 }  // namespace

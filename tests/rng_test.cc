@@ -195,5 +195,36 @@ TEST_P(AliasSamplerSweep, EmpiricalFrequenciesMatch) {
 INSTANTIATE_TEST_SUITE_P(Sizes, AliasSamplerSweep,
                          ::testing::Values(2, 3, 7, 16, 50, 128));
 
+TEST(RngStreamFamilyTest, StreamsAreDeterministic) {
+  RngStreamFamily family(99);
+  Rng a = family.Stream(5);
+  Rng b = family.Stream(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+}
+
+TEST(RngStreamFamilyTest, StreamsAreIndependentOfRequestOrder) {
+  RngStreamFamily family(7);
+  // Requesting other streams first must not perturb stream 3: the family
+  // is a pure function, unlike Rng::Fork.
+  Rng direct = family.Stream(3);
+  family.Stream(0);
+  family.Stream(1);
+  family.Stream(100);
+  Rng after_others = family.Stream(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(direct.engine()(), after_others.engine()());
+  }
+}
+
+TEST(RngStreamFamilyTest, DistinctIndicesAndSeedsDiverge) {
+  RngStreamFamily family(1);
+  EXPECT_NE(family.Stream(0).engine()(), family.Stream(1).engine()());
+  EXPECT_NE(family.Stream(41).engine()(), family.Stream(42).engine()());
+  RngStreamFamily other(2);
+  EXPECT_NE(family.Stream(0).engine()(), other.Stream(0).engine()());
+}
+
 }  // namespace
 }  // namespace mdrr

@@ -205,6 +205,18 @@ TEST(FrequencyTableTest, FromCountsAndEmpty) {
   EXPECT_DOUBLE_EQ(empty.Proportions()[0], 0.0);
 }
 
+TEST(FrequencyTableTest, AbsorbMergesShardCounts) {
+  FrequencyTable total(std::vector<int64_t>{0, 0, 0});
+  total.Absorb(FrequencyTable({0, 1, 1}, 3));
+  total.Absorb(FrequencyTable({2, 2, 1}, 3));
+  total.Absorb(FrequencyTable(std::vector<int64_t>{0, 0, 0}));
+  EXPECT_EQ(total.total(), 6);
+  EXPECT_EQ(total.counts(), (std::vector<int64_t>{1, 3, 2}));
+  // Matches counting the concatenated codes in one pass.
+  FrequencyTable whole({0, 1, 1, 2, 2, 1}, 3);
+  EXPECT_EQ(total.counts(), whole.counts());
+}
+
 TEST(ContingencyTableTest, MarginalsAndCells) {
   // Pairs: (0,0) x2, (0,1) x1, (1,1) x1.
   ContingencyTable table({0, 0, 0, 1}, 2, {0, 0, 1, 1}, 2);
