@@ -1,32 +1,51 @@
-// Batch pipeline scaling: BatchPerturbationEngine at 1 thread vs N
-// threads on a large synthetic Adult workload, for RR-Independent and
-// RR-Clusters. The engine's sharding contract makes the two runs
-// bit-identical, so the bench both measures the speedup and verifies the
-// determinism claim on every invocation.
+// Full-pipeline scaling: every sharded stage of a release -- perturbation
+// (RR-Independent, RR-Clusters), dependence assessment, Algorithm 2
+// adjustment, synthetic release, and the party-level session -- at 1
+// thread vs N threads on a large synthetic Adult workload. The sharding
+// contracts make each pair of runs bit-identical, so the bench both
+// measures the speedup and verifies the determinism claim on every
+// invocation (exit 1 on any mismatch).
 //
 // Flags:
-//   --n=N         records (default 1000000)
-//   --threads=T   parallel thread count to compare against 1 (default 4)
-//   --shard=S     records per shard (default 65536)
-//   --p=P         keep probability (default 0.7)
-//   --seed=S      engine seed (default 1)
-//   --data_seed=S synthetic-workload seed, independent of --seed
-//                 (default 2020)
+//   --n=N          records (default 1000000)
+//   --threads=T    parallel thread count to compare against 1 (default 4)
+//   --shard=S      records per shard (default 65536)
+//   --p=P          keep probability (default 0.7)
+//   --seed=S       engine seed (default 1)
+//   --data_seed=S  synthetic-workload seed, independent of --seed
+//                  (default 2020)
+//   --session_n=N  parties in the session stage (default min(n, 100000);
+//                  each simulated party carries its own mt19937_64, so
+//                  the session stage is memory-bound in parties)
+//   --json_out=F   write the stage table as JSON (BENCH_pipeline.json
+//                  baseline format)
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "mdrr/common/flags.h"
+#include "mdrr/core/adjustment.h"
 #include "mdrr/core/batch_engine.h"
+#include "mdrr/core/dependence.h"
+#include "mdrr/core/synthetic.h"
 #include "mdrr/dataset/adult.h"
+#include "mdrr/protocol/session.h"
 
 namespace {
 
 using mdrr::BatchPerturbationEngine;
 using mdrr::BatchPerturbationOptions;
 using mdrr::Dataset;
+
+struct StageResult {
+  std::string name;
+  double t1 = 0.0;
+  double tn = 0.0;
+  bool identical = false;
+};
 
 bool SameEstimates(const std::vector<std::vector<double>>& a,
                    const std::vector<std::vector<double>>& b) {
@@ -48,6 +67,16 @@ bool SameData(const Dataset& a, const Dataset& b) {
   return true;
 }
 
+bool SameMatrix(const mdrr::linalg::Matrix& a, const mdrr::linalg::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (a(i, j) != b(i, j)) return false;
+    }
+  }
+  return true;
+}
+
 BatchPerturbationEngine MakeEngine(const mdrr::FlagSet& flags,
                                    size_t threads) {
   BatchPerturbationOptions options;
@@ -55,6 +84,12 @@ BatchPerturbationEngine MakeEngine(const mdrr::FlagSet& flags,
   options.num_threads = threads;
   options.shard_size = static_cast<size_t>(flags.GetInt("shard", 1 << 16));
   return BatchPerturbationEngine(options);
+}
+
+void PrintStage(const StageResult& stage) {
+  std::printf("%-22s %10.3f %10.3f %8.2fx %12s\n", stage.name.c_str(),
+              stage.t1, stage.tn, stage.tn > 0.0 ? stage.t1 / stage.tn : 0.0,
+              stage.identical ? "yes" : "NO");
 }
 
 }  // namespace
@@ -68,8 +103,10 @@ int main(int argc, char** argv) {
   const double p = flags.GetDouble("p", 0.7);
   const uint64_t data_seed =
       static_cast<uint64_t>(flags.GetInt("data_seed", 2020));
+  const size_t session_n = static_cast<size_t>(flags.GetInt(
+      "session_n", static_cast<int64_t>(std::min<size_t>(n, 100000))));
 
-  mdrr::bench::PrintHeader("parallel batch pipeline");
+  mdrr::bench::PrintHeader("parallel release pipeline");
   std::printf("# synthesizing %zu Adult records...\n", n);
   Dataset data = mdrr::SynthesizeAdult(n, data_seed);
 
@@ -83,54 +120,181 @@ int main(int argc, char** argv) {
   clusters_options.keep_probability = p;
   clusters_options.dependence_source = mdrr::DependenceSource::kOracle;
 
-  std::printf("%-16s %10s %10s %9s %12s\n", "protocol", "t1 (s)",
-              "tN (s)", "speedup", "identical");
-  int failures = 0;
+  std::printf("%-22s %10s %10s %9s %12s\n", "stage", "t1 (s)", "tN (s)",
+              "speedup", "identical");
+  std::vector<StageResult> stages;
+  mdrr::bench::WallTimer timer;
 
-  {
-    mdrr::bench::WallTimer timer;
-    auto one = single.RunIndependent(data, independent_options);
-    double t1 = timer.Seconds();
-    timer.Restart();
-    auto many = parallel.RunIndependent(data, independent_options);
-    double tn = timer.Seconds();
-    if (!one.ok() || !many.ok()) {
-      std::fprintf(stderr, "RR-Independent failed\n");
-      return 1;
-    }
-    bool same = SameEstimates(one.value().estimated, many.value().estimated) &&
-                SameData(one.value().randomized, many.value().randomized);
-    if (!same) ++failures;
-    std::printf("%-16s %10.3f %10.3f %8.2fx %12s\n", "RR-Independent", t1,
-                tn, t1 / tn, same ? "yes" : "NO");
+  // --- RR-Independent perturbation. ---
+  timer.Restart();
+  auto independent_one = single.RunIndependent(data, independent_options);
+  double independent_t1 = timer.Seconds();
+  timer.Restart();
+  auto independent_many = parallel.RunIndependent(data, independent_options);
+  double independent_tn = timer.Seconds();
+  if (!independent_one.ok() || !independent_many.ok()) {
+    std::fprintf(stderr, "RR-Independent failed\n");
+    return 1;
+  }
+  stages.push_back(
+      {"RR-Independent", independent_t1, independent_tn,
+       SameEstimates(independent_one.value().estimated,
+                     independent_many.value().estimated) &&
+           SameData(independent_one.value().randomized,
+                    independent_many.value().randomized)});
+  PrintStage(stages.back());
+
+  // --- Dependence assessment (Corollary 1 pairwise statistics). ---
+  mdrr::DependenceShardingOptions dependence_one;
+  dependence_one.num_threads = 1;
+  mdrr::DependenceShardingOptions dependence_many;
+  dependence_many.num_threads = threads;
+  timer.Restart();
+  mdrr::linalg::Matrix deps_one = mdrr::DependenceMatrixSharded(
+      data, mdrr::DependenceMeasure::kPaperAuto, dependence_one);
+  double dependence_t1 = timer.Seconds();
+  timer.Restart();
+  mdrr::linalg::Matrix deps_many = mdrr::DependenceMatrixSharded(
+      data, mdrr::DependenceMeasure::kPaperAuto, dependence_many);
+  double dependence_tn = timer.Seconds();
+  stages.push_back({"dependence-assess", dependence_t1, dependence_tn,
+                    SameMatrix(deps_one, deps_many)});
+  PrintStage(stages.back());
+
+  // --- RR-Clusters (assessment + clustering + joint perturbation). ---
+  timer.Restart();
+  auto clusters_one = single.RunClusters(data, clusters_options);
+  double clusters_t1 = timer.Seconds();
+  timer.Restart();
+  auto clusters_many = parallel.RunClusters(data, clusters_options);
+  double clusters_tn = timer.Seconds();
+  if (!clusters_one.ok() || !clusters_many.ok()) {
+    std::fprintf(stderr, "RR-Clusters failed\n");
+    return 1;
+  }
+  bool clusters_same =
+      SameData(clusters_one.value().randomized,
+               clusters_many.value().randomized) &&
+      clusters_one.value().release_epsilon ==
+          clusters_many.value().release_epsilon;
+  for (size_t c = 0;
+       clusters_same && c < clusters_one.value().cluster_results.size();
+       ++c) {
+    clusters_same = clusters_one.value().cluster_results[c].estimated ==
+                    clusters_many.value().cluster_results[c].estimated;
+  }
+  stages.push_back({"RR-Clusters", clusters_t1, clusters_tn, clusters_same});
+  PrintStage(stages.back());
+
+  // --- Algorithm 2 adjustment on the clusters release. ---
+  std::vector<mdrr::AdjustmentGroup> groups =
+      mdrr::GroupsFromClusters(clusters_one.value());
+  mdrr::AdjustmentOptions adjustment_options;
+  adjustment_options.max_iterations = 25;
+  timer.Restart();
+  auto adjustment_one = single.RunAdjustment(groups, n, adjustment_options);
+  double adjustment_t1 = timer.Seconds();
+  timer.Restart();
+  auto adjustment_many =
+      parallel.RunAdjustment(groups, n, adjustment_options);
+  double adjustment_tn = timer.Seconds();
+  if (!adjustment_one.ok() || !adjustment_many.ok()) {
+    std::fprintf(stderr, "adjustment failed\n");
+    return 1;
+  }
+  stages.push_back(
+      {"adjustment", adjustment_t1, adjustment_tn,
+       adjustment_one.value().weights == adjustment_many.value().weights &&
+           adjustment_one.value().iterations ==
+               adjustment_many.value().iterations});
+  PrintStage(stages.back());
+
+  // --- Synthetic release from the clusters estimates. ---
+  timer.Restart();
+  auto synthetic_one =
+      single.SynthesizeClusters(clusters_one.value(),
+                                static_cast<int64_t>(n));
+  double synthetic_t1 = timer.Seconds();
+  timer.Restart();
+  auto synthetic_many =
+      parallel.SynthesizeClusters(clusters_one.value(),
+                                  static_cast<int64_t>(n));
+  double synthetic_tn = timer.Seconds();
+  if (!synthetic_one.ok() || !synthetic_many.ok()) {
+    std::fprintf(stderr, "synthetic release failed\n");
+    return 1;
+  }
+  stages.push_back({"synthetic-release", synthetic_t1, synthetic_tn,
+                    SameData(synthetic_one.value(), synthetic_many.value())});
+  PrintStage(stages.back());
+
+  // --- Party-level two-round session. ---
+  Dataset session_data =
+      session_n == n ? data : mdrr::SynthesizeAdult(session_n, data_seed);
+  mdrr::protocol::SessionOptions session_options;
+  session_options.keep_probability = p;
+  session_options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  session_options.num_threads = 1;
+  timer.Restart();
+  auto session_one =
+      mdrr::protocol::RunDistributedSession(session_data, session_options);
+  double session_t1 = timer.Seconds();
+  session_options.num_threads = threads;
+  timer.Restart();
+  auto session_many =
+      mdrr::protocol::RunDistributedSession(session_data, session_options);
+  double session_tn = timer.Seconds();
+  if (!session_one.ok() || !session_many.ok()) {
+    std::fprintf(stderr, "session failed\n");
+    return 1;
+  }
+  stages.push_back(
+      {"protocol-session", session_t1, session_tn,
+       session_one.value().clusters == session_many.value().clusters &&
+           session_one.value().cluster_joints ==
+               session_many.value().cluster_joints &&
+           SameData(session_one.value().randomized,
+                    session_many.value().randomized)});
+  PrintStage(stages.back());
+
+  int failures = 0;
+  for (const StageResult& stage : stages) {
+    if (!stage.identical) ++failures;
   }
 
-  {
-    mdrr::bench::WallTimer timer;
-    auto one = single.RunClusters(data, clusters_options);
-    double t1 = timer.Seconds();
-    timer.Restart();
-    auto many = parallel.RunClusters(data, clusters_options);
-    double tn = timer.Seconds();
-    if (!one.ok() || !many.ok()) {
-      std::fprintf(stderr, "RR-Clusters failed\n");
+  std::string json_out = flags.GetString("json_out", "");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
       return 1;
     }
-    bool same = SameData(one.value().randomized, many.value().randomized) &&
-                one.value().release_epsilon == many.value().release_epsilon;
-    for (size_t c = 0; same && c < one.value().cluster_results.size(); ++c) {
-      same = one.value().cluster_results[c].estimated ==
-             many.value().cluster_results[c].estimated;
+    std::fprintf(f,
+                 "{\n  \"bench\": \"parallel_release_pipeline\",\n"
+                 "  \"n\": %zu,\n  \"session_n\": %zu,\n"
+                 "  \"threads\": %zu,\n  \"shard_size\": %zu,\n"
+                 "  \"stages\": [\n",
+                 n, session_n, threads, single.options().shard_size);
+    for (size_t i = 0; i < stages.size(); ++i) {
+      std::fprintf(
+          f,
+          "    {\"stage\": \"%s\", \"t1_seconds\": %.3f, "
+          "\"tN_seconds\": %.3f, \"speedup\": %.2f, "
+          "\"bit_identical\": %s}%s\n",
+          stages[i].name.c_str(), stages[i].t1, stages[i].tn,
+          stages[i].tn > 0.0 ? stages[i].t1 / stages[i].tn : 0.0,
+          stages[i].identical ? "true" : "false",
+          i + 1 < stages.size() ? "," : "");
     }
-    if (!same) ++failures;
-    std::printf("%-16s %10.3f %10.3f %8.2fx %12s\n", "RR-Clusters", t1, tn,
-                t1 / tn, same ? "yes" : "NO");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_out.c_str());
   }
 
   if (failures > 0) {
     std::fprintf(stderr,
-                 "FAIL: %d protocol(s) were not bit-identical across "
-                 "thread counts\n",
+                 "FAIL: %d stage(s) were not bit-identical across thread "
+                 "counts\n",
                  failures);
     return 1;
   }

@@ -47,4 +47,13 @@ void ParallelChunks(size_t n, size_t chunk_size, size_t num_threads,
   for (std::thread& t : pool) t.join();
 }
 
+void ChunkedDoubleAccumulator::ReduceInto(double* out) const {
+  for (size_t v = 0; v < width_; ++v) out[v] = 0.0;
+  const size_t num_chunks = width_ == 0 ? 0 : slots_.size() / width_;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const double* row = slots_.data() + c * width_;
+    for (size_t v = 0; v < width_; ++v) out[v] += row[v];
+  }
+}
+
 }  // namespace mdrr

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 namespace mdrr {
 
@@ -32,6 +33,41 @@ size_t NumChunks(size_t n, size_t chunk_size);
 // elements in chunks of `chunk_size` (0 -> hardware concurrency, then
 // clamped to the chunk count).
 size_t ResolveWorkerCount(size_t num_threads, size_t n, size_t chunk_size);
+
+// Deterministic parallel reduction of floating-point partial sums.
+//
+// Integer counts can be merged per *worker* because integer addition
+// commutes exactly, but double sums do not: merging in whatever order
+// workers happened to claim chunks would make the totals depend on the
+// thread count. A ChunkedDoubleAccumulator instead gives every chunk its
+// own slot row and merges rows in ascending chunk order, which depends
+// only on (n, chunk_size) -- so reductions are bit-identical for any
+// worker count.
+class ChunkedDoubleAccumulator {
+ public:
+  // `width` slots per chunk, all zero-initialized.
+  ChunkedDoubleAccumulator(size_t num_chunks, size_t width)
+      : width_(width), slots_(num_chunks * width, 0.0) {}
+
+  // The slot row of `chunk_index` (length width()). Rows of distinct
+  // chunks never alias, so workers write without synchronization.
+  double* Row(size_t chunk_index) {
+    return slots_.data() + chunk_index * width_;
+  }
+
+  // Re-zeroes every slot (buffer reuse across passes).
+  void Reset() { slots_.assign(slots_.size(), 0.0); }
+
+  // Column-wise totals merged in ascending chunk order, written into
+  // `out[0, width())`.
+  void ReduceInto(double* out) const;
+
+  size_t width() const { return width_; }
+
+ private:
+  size_t width_;
+  std::vector<double> slots_;
+};
 
 }  // namespace mdrr
 

@@ -1,10 +1,40 @@
 #include "mdrr/core/adjustment.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
 
 namespace mdrr {
+
+namespace {
+
+// The normalized reweighting table of one Adjust_weights step (Algorithm
+// 2 lines 6-7). ratio[v] = target[v] / implied[v] rescales the group's
+// implied marginal onto its target; dividing the whole table by the
+// post-rescale total mass (which is just the target mass of the
+// reachable categories -- no record scan needed) folds the
+// renormalization of the sequential algorithm into the same multiply.
+std::vector<double> NormalizedRatio(const std::vector<double>& implied,
+                                    const std::vector<double>& target) {
+  std::vector<double> ratio(target.size(), 1.0);
+  double total_after = 0.0;
+  for (size_t v = 0; v < target.size(); ++v) {
+    if (implied[v] > 0.0) {
+      ratio[v] = target[v] / implied[v];
+      total_after += target[v];
+    }
+    // Categories with zero implied mass cannot be repaired by
+    // reweighting (no record carries them); their target mass is
+    // unreachable and shows up in max_marginal_gap.
+  }
+  MDRR_CHECK_GT(total_after, 0.0);
+  for (double& r : ratio) r /= total_after;
+  return ratio;
+}
+
+}  // namespace
 
 StatusOr<AdjustmentResult> RunRrAdjustment(
     const std::vector<AdjustmentGroup>& groups, size_t num_records,
@@ -36,46 +66,104 @@ StatusOr<AdjustmentResult> RunRrAdjustment(
     }
   }
 
-  AdjustmentResult result;
-  result.weights.assign(num_records, 1.0 / static_cast<double>(num_records));
+  const size_t n = num_records;
+  const size_t num_groups = groups.size();
+  const size_t chunk_size = std::max<size_t>(1, options.chunk_size);
+  const size_t num_chunks = NumChunks(n, chunk_size);
 
+  // Flattened layout of all groups' marginals for the combined last pass:
+  // group g occupies [group_offset[g], group_offset[g] + |target_g|).
+  std::vector<size_t> group_offset(num_groups);
+  size_t total_width = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    group_offset[g] = total_width;
+    total_width += groups[g].target.size();
+  }
+
+  AdjustmentResult result;
+  result.weights.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double>& weights = result.weights;
+
+  // Reused per-chunk partial buffers: one group's marginal for the
+  // middle passes, all groups' marginals for the last pass.
+  std::vector<ChunkedDoubleAccumulator> one_group_pool;
+  one_group_pool.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    one_group_pool.emplace_back(num_chunks, groups[g].target.size());
+  }
+  ChunkedDoubleAccumulator all_groups(num_chunks, total_width);
+  std::vector<double> all_implied(total_width, 0.0);
+
+  // implied marginal of group 0 under the current weights; maintained
+  // across iterations by the combined last pass.
+  std::vector<double> implied(groups[0].target.size(), 0.0);
+  ParallelChunks(n, chunk_size, options.num_threads,
+                 [&](size_t /*worker*/, size_t chunk, size_t begin,
+                     size_t end) {
+                   double* row = one_group_pool[0].Row(chunk);
+                   const uint32_t* codes = groups[0].codes.data();
+                   for (size_t i = begin; i < end; ++i) {
+                     row[codes[i]] += weights[i];
+                   }
+                 });
+  one_group_pool[0].ReduceInto(implied.data());
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // One sweep of Adjust_weights over every group (Algorithm 2 lines
-    // 6-7): rescale weights so the group's implied marginal matches its
-    // target.
-    for (const AdjustmentGroup& group : groups) {
-      std::vector<double> implied(group.target.size(), 0.0);
-      for (size_t i = 0; i < num_records; ++i) {
-        implied[group.codes[i]] += result.weights[i];
+    for (size_t g = 0; g < num_groups; ++g) {
+      // `implied` holds group g's marginal under the weights after
+      // groups 0..g-1 were updated this iteration.
+      std::vector<double> ratio = NormalizedRatio(implied, groups[g].target);
+      const uint32_t* codes_g = groups[g].codes.data();
+
+      if (g + 1 < num_groups) {
+        // Middle pass: apply group g's ratio and accumulate group g+1's
+        // implied marginal in the same scan.
+        ChunkedDoubleAccumulator& acc = one_group_pool[g + 1];
+        acc.Reset();
+        const uint32_t* codes_next = groups[g + 1].codes.data();
+        ParallelChunks(n, chunk_size, options.num_threads,
+                       [&](size_t /*worker*/, size_t chunk, size_t begin,
+                           size_t end) {
+                         double* row = acc.Row(chunk);
+                         for (size_t i = begin; i < end; ++i) {
+                           double w = weights[i] * ratio[codes_g[i]];
+                           weights[i] = w;
+                           row[codes_next[i]] += w;
+                         }
+                       });
+        implied.assign(groups[g + 1].target.size(), 0.0);
+        acc.ReduceInto(implied.data());
+      } else {
+        // Last pass of the iteration: apply the final ratio and
+        // accumulate every group's implied marginal at once -- the
+        // convergence test and next iteration's first group both read
+        // from this single scan.
+        all_groups.Reset();
+        ParallelChunks(n, chunk_size, options.num_threads,
+                       [&](size_t /*worker*/, size_t chunk, size_t begin,
+                           size_t end) {
+                         double* row = all_groups.Row(chunk);
+                         for (size_t i = begin; i < end; ++i) {
+                           double w = weights[i] * ratio[codes_g[i]];
+                           weights[i] = w;
+                           for (size_t h = 0; h < num_groups; ++h) {
+                             row[group_offset[h] + groups[h].codes[i]] += w;
+                           }
+                         }
+                       });
+        all_groups.ReduceInto(all_implied.data());
       }
-      // w_i *= target(v) / s_v for v = the record's category. Categories
-      // with zero implied mass cannot be repaired by reweighting; their
-      // target mass is unreachable and shows up in max_marginal_gap.
-      std::vector<double> ratio(group.target.size(), 1.0);
-      for (size_t v = 0; v < ratio.size(); ++v) {
-        if (implied[v] > 0.0) ratio[v] = group.target[v] / implied[v];
-      }
-      for (size_t i = 0; i < num_records; ++i) {
-        result.weights[i] *= ratio[group.codes[i]];
-      }
-      // Renormalize: unreachable target mass would otherwise shrink the
-      // total below 1.
-      double total = 0.0;
-      for (double w : result.weights) total += w;
-      MDRR_CHECK_GT(total, 0.0);
-      for (double& w : result.weights) w /= total;
     }
     result.iterations = iter + 1;
 
-    // Convergence test: largest marginal gap across all groups.
+    // Convergence test: largest marginal gap across all groups, measured
+    // on the end-of-iteration weights (same semantics as the sequential
+    // three-scan algorithm).
     double max_gap = 0.0;
-    for (const AdjustmentGroup& group : groups) {
-      std::vector<double> implied(group.target.size(), 0.0);
-      for (size_t i = 0; i < num_records; ++i) {
-        implied[group.codes[i]] += result.weights[i];
-      }
-      for (size_t v = 0; v < implied.size(); ++v) {
-        max_gap = std::max(max_gap, std::fabs(implied[v] - group.target[v]));
+    for (size_t g = 0; g < num_groups; ++g) {
+      const double* implied_g = all_implied.data() + group_offset[g];
+      for (size_t v = 0; v < groups[g].target.size(); ++v) {
+        max_gap = std::max(max_gap,
+                           std::fabs(implied_g[v] - groups[g].target[v]));
       }
     }
     result.max_marginal_gap = max_gap;
@@ -83,7 +171,29 @@ StatusOr<AdjustmentResult> RunRrAdjustment(
       result.converged = true;
       break;
     }
+    implied.assign(all_implied.data(),
+                   all_implied.data() + groups[0].target.size());
   }
+
+  // The folded renormalization keeps the total at 1 only up to one
+  // rounding per iteration; settle the invariant exactly with one final
+  // chunk-ordered reduction.
+  ChunkedDoubleAccumulator totals(num_chunks, 1);
+  ParallelChunks(n, chunk_size, options.num_threads,
+                 [&](size_t /*worker*/, size_t chunk, size_t begin,
+                     size_t end) {
+                   double sum = 0.0;
+                   for (size_t i = begin; i < end; ++i) sum += weights[i];
+                   *totals.Row(chunk) = sum;
+                 });
+  double total = 0.0;
+  totals.ReduceInto(&total);
+  MDRR_CHECK_GT(total, 0.0);
+  ParallelChunks(n, chunk_size, options.num_threads,
+                 [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                     size_t end) {
+                   for (size_t i = begin; i < end; ++i) weights[i] /= total;
+                 });
   return result;
 }
 

@@ -28,6 +28,15 @@ struct AdjustmentOptions {
   // Converged when the largest absolute gap between an implied marginal
   // entry and its target falls below this.
   double tolerance = 1e-9;
+  // Worker threads for the per-iteration record sweeps; 0 means one per
+  // hardware core. Never changes results: partial marginal sums are
+  // merged in chunk order, which depends only on (num_records,
+  // chunk_size).
+  size_t num_threads = 1;
+  // Records per reduction chunk. Part of the numeric contract (it fixes
+  // the floating-point summation tree), like shard_size in
+  // BatchPerturbationOptions. 0 is clamped to 1.
+  size_t chunk_size = 1 << 16;
 };
 
 struct AdjustmentResult {
@@ -42,6 +51,15 @@ struct AdjustmentResult {
 // Runs Algorithm 2 over the given groups. Fails if groups are empty,
 // sizes are inconsistent, a target is not a distribution, or a code is
 // out of range of its target.
+//
+// Each iteration performs exactly one parallel pass over the records per
+// group: pass g applies group g-1's reweighting ratio (with the
+// renormalization folded into the ratio table, so no separate
+// normalization scan exists) while accumulating group g's implied
+// marginal; the last pass additionally accumulates every group's implied
+// marginal for the convergence test and seeds the next iteration's first
+// group. Output is bit-identical for any num_threads at a fixed
+// chunk_size.
 StatusOr<AdjustmentResult> RunRrAdjustment(
     const std::vector<AdjustmentGroup>& groups, size_t num_records,
     const AdjustmentOptions& options = {});

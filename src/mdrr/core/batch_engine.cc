@@ -5,11 +5,16 @@
 #include "mdrr/common/parallel.h"
 #include "mdrr/core/perturber.h"
 #include "mdrr/core/rr_matrix.h"
+#include "mdrr/core/synthetic.h"
 #include "mdrr/stats/frequency.h"
 
 namespace mdrr {
 
 namespace {
+
+// Salt separating the synthetic-release stream family from the
+// perturbation family at the same engine seed.
+constexpr uint64_t kSyntheticStreamSalt = 0x53594e5448455349ULL;  // "SYNTHESI"
 
 // Randomizes `input` through `matrix`, shard by shard. Shard s covers
 // rows [s * shard_size, min(n, (s + 1) * shard_size)) and draws
@@ -96,6 +101,9 @@ StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
   const size_t num_shards = NumShards(dataset.num_rows());
   RngStreamFamily family(options_.seed);
   Rng serial_rng = family.Stream(0);
+  DependenceShardingOptions assessment;
+  assessment.num_threads = options_.num_threads;
+  assessment.record_chunk_size = options_.shard_size;
   return RunRrClustersWith(
       dataset, options, serial_rng,
       [this, &dataset, &family, num_shards](
@@ -111,7 +119,31 @@ StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
                   options_.shard_size, options_.num_threads);
             });
       },
-      options_.num_threads);
+      options_.num_threads, &assessment);
+}
+
+StatusOr<AdjustmentResult> BatchPerturbationEngine::RunAdjustment(
+    const std::vector<AdjustmentGroup>& groups, size_t num_records,
+    AdjustmentOptions options) const {
+  options.num_threads = options_.num_threads;
+  options.chunk_size = options_.shard_size;
+  return RunRrAdjustment(groups, num_records, options);
+}
+
+StatusOr<Dataset> BatchPerturbationEngine::SynthesizeIndependent(
+    const RrIndependentResult& result, int64_t n) const {
+  RngStreamFamily family(options_.seed ^ kSyntheticStreamSalt);
+  return SynthesizeFromIndependentSharded(result, n, family,
+                                          options_.shard_size,
+                                          options_.num_threads);
+}
+
+StatusOr<Dataset> BatchPerturbationEngine::SynthesizeClusters(
+    const RrClustersResult& result, int64_t n) const {
+  RngStreamFamily family(options_.seed ^ kSyntheticStreamSalt);
+  return SynthesizeFromClustersSharded(result, n, family,
+                                       options_.shard_size,
+                                       options_.num_threads);
 }
 
 }  // namespace mdrr

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mdrr/common/status_or.h"
+#include "mdrr/core/adjustment.h"
 #include "mdrr/core/rr_clusters.h"
 #include "mdrr/core/rr_independent.h"
 #include "mdrr/core/rr_joint.h"
@@ -57,11 +58,29 @@ class BatchPerturbationEngine {
                                    double epsilon) const;
 
   // Parallel RR-Clusters: same result contract as RunRrClusters. The
-  // dependence-assessment round is inherently sequential (it is one
-  // privacy-budgeted interaction, not a per-record map) and runs on
-  // stream 0; the per-cluster joint randomization is sharded.
+  // dependence-assessment round's randomness is sequential (it is one
+  // privacy-budgeted interaction on stream 0), but its Corollary 1
+  // pairwise statistics shard across the pair grid and record ranges
+  // (AssessDependencesSharded); the per-cluster joint randomization is
+  // sharded as before.
   StatusOr<RrClustersResult> RunClusters(
       const Dataset& dataset, const RrClustersOptions& options) const;
+
+  // Parallel Algorithm 2: RunRrAdjustment with the engine's threading
+  // (num_threads workers, shard_size reduction chunks). `options`'
+  // num_threads/chunk_size are overridden by the engine's.
+  StatusOr<AdjustmentResult> RunAdjustment(
+      const std::vector<AdjustmentGroup>& groups, size_t num_records,
+      AdjustmentOptions options = {}) const;
+
+  // Parallel synthetic release: SynthesizeFrom{Independent,Clusters}
+  // with per-shard apportionment and per-shard shuffle streams. Stream
+  // layout mirrors perturbation but on a salted family, so synthesis
+  // never replays perturbation randomness at the same seed.
+  StatusOr<Dataset> SynthesizeIndependent(const RrIndependentResult& result,
+                                          int64_t n) const;
+  StatusOr<Dataset> SynthesizeClusters(const RrClustersResult& result,
+                                       int64_t n) const;
 
   // Shards used for a column of `num_rows` records (>= 1; the last shard
   // may be short). Exposed for tests and capacity planning.

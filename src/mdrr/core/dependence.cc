@@ -1,8 +1,11 @@
 #include "mdrr/core/dependence.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
 #include "mdrr/stats/descriptive.h"
 #include "mdrr/stats/frequency.h"
 
@@ -173,6 +176,137 @@ double AbsPearsonFromJoint(const std::vector<double>& joint,
   }
   if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
   return std::fabs(cov / std::sqrt(var_a * var_b));
+}
+
+namespace {
+
+// Dependence statistic from a pair's exact joint counts. A pure function
+// of (counts, measure, types), so any accumulation scheme that produces
+// the same integer counts produces bitwise-identical dependences.
+double DependenceFromJointCounts(const std::vector<int64_t>& counts,
+                                 size_t cardinality_a, AttributeType type_a,
+                                 size_t cardinality_b, AttributeType type_b,
+                                 double n, DependenceMeasure measure) {
+  std::vector<double> joint(counts.begin(), counts.end());
+  switch (measure) {
+    case DependenceMeasure::kPaperAuto:
+      return DependenceFromJoint(joint, cardinality_a, type_a, cardinality_b,
+                                 type_b, n);
+    case DependenceMeasure::kCramersV: {
+      stats::ContingencyTable table(std::move(joint), cardinality_a,
+                                    cardinality_b, n);
+      return table.CramersV();
+    }
+    case DependenceMeasure::kAbsPearson:
+      return AbsPearsonFromJoint(joint, cardinality_a, cardinality_b);
+    case DependenceMeasure::kNormalizedMutualInformation:
+      return NormalizedMutualInformationFromJoint(joint, cardinality_a,
+                                                  cardinality_b);
+  }
+  return 0.0;
+}
+
+// Joint counts of one pair accumulated serially over all records.
+std::vector<int64_t> PairCountsSerial(const std::vector<uint32_t>& codes_a,
+                                      const std::vector<uint32_t>& codes_b,
+                                      size_t cardinality_a,
+                                      size_t cardinality_b) {
+  std::vector<int64_t> counts(cardinality_a * cardinality_b, 0);
+  for (size_t i = 0; i < codes_a.size(); ++i) {
+    ++counts[codes_a[i] * cardinality_b + codes_b[i]];
+  }
+  return counts;
+}
+
+// Joint counts of one pair sharded over record ranges: each worker
+// accumulates into its own buffer, and the partial tables are merged by
+// FrequencyTable::Absorb (integer sums commute, so the totals do not
+// depend on which worker claimed which chunk).
+std::vector<int64_t> PairCountsSharded(const std::vector<uint32_t>& codes_a,
+                                       const std::vector<uint32_t>& codes_b,
+                                       size_t cardinality_a,
+                                       size_t cardinality_b,
+                                       const DependenceShardingOptions& options,
+                                       size_t chunk_size) {
+  const size_t n = codes_a.size();
+  const size_t cells = cardinality_a * cardinality_b;
+  const size_t workers =
+      ResolveWorkerCount(options.num_threads, n, chunk_size);
+  std::vector<std::vector<int64_t>> worker_counts(
+      workers, std::vector<int64_t>(cells, 0));
+  ParallelChunks(n, chunk_size, options.num_threads,
+                 [&](size_t worker, size_t /*chunk*/, size_t begin,
+                     size_t end) {
+                   int64_t* buf = worker_counts[worker].data();
+                   for (size_t i = begin; i < end; ++i) {
+                     ++buf[codes_a[i] * cardinality_b + codes_b[i]];
+                   }
+                 });
+  stats::FrequencyTable total(std::move(worker_counts[0]));
+  for (size_t w = 1; w < workers; ++w) {
+    total.Absorb(stats::FrequencyTable(std::move(worker_counts[w])));
+  }
+  return total.counts();
+}
+
+}  // namespace
+
+linalg::Matrix DependenceMatrixSharded(
+    const Dataset& dataset, DependenceMeasure measure,
+    const DependenceShardingOptions& options) {
+  const size_t m = dataset.num_attributes();
+  const size_t n = dataset.num_rows();
+  const size_t chunk_size = std::max<size_t>(1, options.record_chunk_size);
+  linalg::Matrix deps(m, m, 0.0);
+  for (size_t i = 0; i < m; ++i) deps(i, i) = 1.0;
+  if (m < 2 || n == 0) return deps;
+
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(m * (m - 1) / 2);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) pairs.emplace_back(i, j);
+  }
+
+  auto stat_for = [&](size_t i, size_t j,
+                      const std::vector<int64_t>& counts) {
+    const Attribute& a = dataset.attribute(i);
+    const Attribute& b = dataset.attribute(j);
+    return DependenceFromJointCounts(counts, a.cardinality(), a.type,
+                                     b.cardinality(), b.type,
+                                     static_cast<double>(n), measure);
+  };
+
+  // When the pair grid alone can feed every worker, shard pairs (each
+  // pair accumulated serially); otherwise shard each pair's record
+  // range. Both schemes produce the same integer counts, so the choice
+  // never changes the output.
+  const size_t workers = ResolveWorkerCount(options.num_threads, n, chunk_size);
+  if (pairs.size() >= 2 * workers) {
+    ParallelChunks(pairs.size(), 1, options.num_threads,
+                   [&](size_t /*worker*/, size_t pair_index, size_t /*begin*/,
+                       size_t /*end*/) {
+                     auto [i, j] = pairs[pair_index];
+                     std::vector<int64_t> counts = PairCountsSerial(
+                         dataset.column(i), dataset.column(j),
+                         dataset.attribute(i).cardinality(),
+                         dataset.attribute(j).cardinality());
+                     double d = stat_for(i, j, counts);
+                     // Distinct pairs write distinct (i, j)/(j, i) cells.
+                     deps(i, j) = d;
+                     deps(j, i) = d;
+                   });
+  } else {
+    for (auto [i, j] : pairs) {
+      std::vector<int64_t> counts = PairCountsSharded(
+          dataset.column(i), dataset.column(j),
+          dataset.attribute(i).cardinality(),
+          dataset.attribute(j).cardinality(), options, chunk_size);
+      double d = stat_for(i, j, counts);
+      deps(i, j) = d;
+      deps(j, i) = d;
+    }
+  }
+  return deps;
 }
 
 double DependenceFromJoint(const std::vector<double>& joint,

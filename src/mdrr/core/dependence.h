@@ -48,6 +48,32 @@ double NormalizedMutualInformationFromJoint(const std::vector<double>& joint,
 linalg::Matrix DependenceMatrixWithMeasure(const Dataset& dataset,
                                            DependenceMeasure measure);
 
+// Threading knobs for the sharded dependence assessment. The record
+// chunk size is purely a load-balancing grain here: per-pair joint
+// counts are integers, and integer sums commute exactly, so the sharded
+// matrix is bit-identical for ANY thread count and ANY chunk size.
+struct DependenceShardingOptions {
+  // Worker threads; 0 means one per hardware core.
+  size_t num_threads = 1;
+  // Records per work unit when a pair's contingency accumulation is
+  // sharded over record ranges. 0 is clamped to 1.
+  size_t record_chunk_size = 1 << 16;
+};
+
+// Sharded pairwise dependence matrix: the O(d^2) pair grid is split
+// across workers, and when the grid alone cannot feed every worker the
+// per-pair contingency accumulation is sharded over record ranges
+// instead, with per-worker count buffers merged by
+// stats::FrequencyTable::Absorb. Every statistic is computed from the
+// pair's exact joint counts, so the output is a pure function of the
+// data and the measure -- independent of thread count and chunk size.
+// Cramér's V and NMI values are bitwise equal to the sequential
+// functions above; |Pearson| is computed from the joint table rather
+// than the raw columns and may differ from them in the last few ulps.
+linalg::Matrix DependenceMatrixSharded(
+    const Dataset& dataset, DependenceMeasure measure,
+    const DependenceShardingOptions& options);
+
 // Dependence between attributes i and j of `dataset`.
 double DependenceBetween(const Dataset& dataset, size_t i, size_t j);
 

@@ -19,24 +19,61 @@ DependenceEstimate OracleDependences(const Dataset& dataset) {
   return result;
 }
 
+DependenceEstimate OracleDependencesSharded(
+    const Dataset& dataset, const DependenceShardingOptions& sharding) {
+  DependenceEstimate result;
+  result.dependences = DependenceMatrixSharded(
+      dataset, DependenceMeasure::kPaperAuto, sharding);
+  result.epsilon = 0.0;
+  result.messages = 0;
+  return result;
+}
+
+namespace {
+
+// The shared round-1 publication of the Section 4.1 assessment: every
+// attribute randomized through KeepUniform(|A|, p) on one sequential
+// stream. Returns the randomized data and accumulates epsilon.
+Dataset PublishRandomizedRound(const Dataset& dataset,
+                               double keep_probability, Rng& rng,
+                               double* epsilon) {
+  Dataset randomized = dataset;
+  for (size_t j = 0; j < dataset.num_attributes(); ++j) {
+    size_t r = dataset.attribute(j).cardinality();
+    RrMatrix matrix = RrMatrix::KeepUniform(r, keep_probability);
+    randomized.SetColumn(j, matrix.RandomizeColumn(dataset.column(j), rng));
+    *epsilon += matrix.Epsilon();
+  }
+  return randomized;
+}
+
+}  // namespace
+
 DependenceEstimate RandomizedResponseDependences(const Dataset& dataset,
                                                  double keep_probability,
                                                  uint64_t seed) {
   Rng rng(seed);
-  const size_t m = dataset.num_attributes();
-  Dataset randomized = dataset;
-  double epsilon = 0.0;
-  for (size_t j = 0; j < m; ++j) {
-    size_t r = dataset.attribute(j).cardinality();
-    RrMatrix matrix = RrMatrix::KeepUniform(r, keep_probability);
-    randomized.SetColumn(j, matrix.RandomizeColumn(dataset.column(j), rng));
-    epsilon += matrix.Epsilon();
-  }
   DependenceEstimate result;
+  result.epsilon = 0.0;
+  Dataset randomized =
+      PublishRandomizedRound(dataset, keep_probability, rng, &result.epsilon);
   result.dependences = DependenceMatrix(randomized);
-  result.epsilon = epsilon;
   // Every party ships one randomized record to the aggregating party:
   // n messages of m values each.
+  result.messages = static_cast<uint64_t>(dataset.num_rows());
+  return result;
+}
+
+DependenceEstimate RandomizedResponseDependencesSharded(
+    const Dataset& dataset, double keep_probability, uint64_t seed,
+    const DependenceShardingOptions& sharding) {
+  Rng rng(seed);
+  DependenceEstimate result;
+  result.epsilon = 0.0;
+  Dataset randomized =
+      PublishRandomizedRound(dataset, keep_probability, rng, &result.epsilon);
+  result.dependences = DependenceMatrixSharded(
+      randomized, DependenceMeasure::kPaperAuto, sharding);
   result.messages = static_cast<uint64_t>(dataset.num_rows());
   return result;
 }

@@ -29,6 +29,14 @@ struct DependenceEstimate {
 // Baseline: a trusted party computes dependences on the true data.
 DependenceEstimate OracleDependences(const Dataset& dataset);
 
+// Sharded oracle assessment: the Corollary 1 pairwise statistics are
+// computed by DependenceMatrixSharded, so the O(d^2 n) scan parallelizes
+// with output independent of thread count. Values are bitwise equal to
+// OracleDependences except for ordinal-ordinal pairs, whose |Pearson| is
+// evaluated from the pair's joint counts instead of the raw columns.
+DependenceEstimate OracleDependencesSharded(
+    const Dataset& dataset, const DependenceShardingOptions& sharding);
+
 // Section 4.1: every party publishes each attribute through
 // KeepUniform(|A|, p) RR; dependences are computed on the randomized data.
 // By Corollary 1 the ranking of dependences is (approximately) preserved
@@ -36,6 +44,20 @@ DependenceEstimate OracleDependences(const Dataset& dataset);
 DependenceEstimate RandomizedResponseDependences(const Dataset& dataset,
                                                  double keep_probability,
                                                  uint64_t seed);
+
+// Sharded Section 4.1 assessment. The per-attribute randomization stays
+// on one sequential stream (it is one privacy-budgeted publication whose
+// transcript must not depend on the worker count); the pairwise
+// statistics over the randomized data are sharded. Bit-identical for any
+// thread count at a fixed seed.
+//
+// The Section 4.2/4.3 estimators (SecureSumDependences,
+// PairwiseRrDependences) have no sharded form: their per-pair protocol
+// runs draw from one shared RNG in pair order, so the message transcript
+// itself is sequential.
+DependenceEstimate RandomizedResponseDependencesSharded(
+    const Dataset& dataset, double keep_probability, uint64_t seed,
+    const DependenceShardingOptions& sharding);
 
 // Section 4.2: exact bivariate distributions through the secure-sum
 // protocol; no masking, so no differential privacy (epsilon = +inf) but

@@ -44,6 +44,21 @@ StatusOr<DependenceEstimate> AssessDependences(
   return Status::Internal("unknown dependence source");
 }
 
+StatusOr<DependenceEstimate> AssessDependencesSharded(
+    const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
+    const DependenceShardingOptions& sharding) {
+  switch (options.dependence_source) {
+    case DependenceSource::kOracle:
+      return OracleDependencesSharded(dataset, sharding);
+    case DependenceSource::kRandomizedResponse:
+      return RandomizedResponseDependencesSharded(
+          dataset, options.dependence_keep_probability, rng.engine()(),
+          sharding);
+    default:
+      return AssessDependences(dataset, options, rng);
+  }
+}
+
 StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
                                          const RrClustersOptions& options,
                                          Rng& rng) {
@@ -58,13 +73,18 @@ StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
 
 StatusOr<RrClustersResult> RunRrClustersWith(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
-    const ClusterJointRunner& joint_runner, size_t decode_threads) {
+    const ClusterJointRunner& joint_runner, size_t decode_threads,
+    const DependenceShardingOptions* assessment_sharding) {
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot run RR-Clusters on empty data");
   }
 
-  MDRR_ASSIGN_OR_RETURN(DependenceEstimate dependences,
-                        AssessDependences(dataset, options, rng));
+  MDRR_ASSIGN_OR_RETURN(
+      DependenceEstimate dependences,
+      assessment_sharding != nullptr
+          ? AssessDependencesSharded(dataset, options, rng,
+                                     *assessment_sharding)
+          : AssessDependences(dataset, options, rng));
   MDRR_ASSIGN_OR_RETURN(
       AttributeClustering clusters,
       ClusterAttributes(dataset, dependences.dependences,

@@ -64,6 +64,15 @@ StatusOr<DependenceEstimate> AssessDependences(const Dataset& dataset,
                                                const RrClustersOptions& options,
                                                Rng& rng);
 
+// Sharded dependence assessment: kOracle and kRandomizedResponse route
+// through the DependenceMatrixSharded pair grid (bit-identical for any
+// thread count); kSecureSum, kPairwiseRr and kProvided fall back to the
+// sequential assessment, whose per-pair protocol transcript draws from
+// one shared RNG in pair order and therefore cannot shard.
+StatusOr<DependenceEstimate> AssessDependencesSharded(
+    const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
+    const DependenceShardingOptions& sharding);
+
 // Runs the full RR-Clusters protocol. Fails on empty data or if a
 // dependence estimator fails.
 StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
@@ -82,10 +91,13 @@ using ClusterJointRunner = std::function<StatusOr<RrJointResult>(
 // runner). `rng` drives the dependence-assessment round;
 // `decode_threads` parallelizes the decode of composite randomized codes
 // back to per-attribute columns (0 = one worker per core; the decode is
-// deterministic at any thread count).
+// deterministic at any thread count). When `assessment_sharding` is
+// non-null the dependence round runs through AssessDependencesSharded
+// instead of AssessDependences; not owned.
 StatusOr<RrClustersResult> RunRrClustersWith(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
-    const ClusterJointRunner& joint_runner, size_t decode_threads);
+    const ClusterJointRunner& joint_runner, size_t decode_threads,
+    const DependenceShardingOptions* assessment_sharding = nullptr);
 
 // The RR-Clusters joint-query estimator (independent clusters, estimated
 // joint within each cluster).

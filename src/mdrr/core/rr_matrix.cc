@@ -17,6 +17,14 @@ RrMatrix::RrMatrix(size_t size, linalg::Matrix dense)
   for (size_t u = 0; u < size_; ++u) {
     row_samplers_.emplace_back(dense_->Row(u));
   }
+  // Factor Pᵀ once so every SolveTranspose is an O(r²) substitution and
+  // never re-materializes the transpose.
+  auto lu = linalg::LuDecomposition::Factor(dense_->Transpose());
+  if (lu.ok()) {
+    transpose_lu_ = std::move(lu).value();
+  } else {
+    transpose_factor_status_ = lu.status();
+  }
 }
 
 RrMatrix RrMatrix::KeepUniform(size_t r, double keep_probability) {
@@ -219,7 +227,8 @@ StatusOr<std::vector<double>> RrMatrix::SolveTranspose(
     // Structured matrices are symmetric, so Pᵀ = P.
     return structured_->ApplyInverse(b);
   }
-  return linalg::SolveLinearSystem(dense_->Transpose(), b);
+  if (!transpose_lu_) return transpose_factor_status_;
+  return transpose_lu_->Solve(b);
 }
 
 }  // namespace mdrr

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mdrr/common/status_or.h"
+#include "mdrr/linalg/lu.h"
 #include "mdrr/linalg/matrix.h"
 #include "mdrr/linalg/structured.h"
 #include "mdrr/rng/alias_sampler.h"
@@ -101,7 +102,11 @@ class RrMatrix {
   double ConditionNumber() const;
 
   // Solves Pᵀ x = b -- the core of the Eq. (2) estimator. O(r) for
-  // structured matrices, O(r³) LU for dense ones. Fails on singular P.
+  // structured matrices; for dense ones the Pᵀ LU factorization is
+  // computed once at construction (O(r³)) and every solve is an O(r²)
+  // substitution against the cached factors -- e.g. the per-unit-vector
+  // variance loop of EstimateVariances costs O(r³) total instead of
+  // O(r⁴). Fails on singular P.
   StatusOr<std::vector<double>> SolveTranspose(
       const std::vector<double>& b) const;
 
@@ -115,6 +120,11 @@ class RrMatrix {
   std::optional<linalg::Matrix> dense_;
   // Alias samplers per row (dense representation only).
   std::vector<AliasSampler> row_samplers_;
+  // Cached LU factors of Pᵀ (dense representation only; empty when Pᵀ is
+  // numerically singular, in which case SolveTranspose reports
+  // `transpose_factor_status_`).
+  std::optional<linalg::LuDecomposition> transpose_lu_;
+  Status transpose_factor_status_ = Status::OK();
 };
 
 }  // namespace mdrr

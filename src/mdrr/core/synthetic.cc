@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
 
 namespace mdrr {
 
@@ -20,6 +21,41 @@ std::vector<uint32_t> ExpandAndShuffle(const std::vector<int64_t>& counts,
     }
   }
   std::shuffle(column.begin(), column.end(), rng.engine());
+  return column;
+}
+
+// Fills out[begin, end) with one shard's apportioned codes and shuffles
+// the range in place on the shard's own stream.
+void FillShard(const std::vector<int64_t>& shard_counts, uint32_t* out,
+               size_t begin, size_t end, Rng& rng) {
+  size_t pos = begin;
+  for (size_t code = 0; code < shard_counts.size(); ++code) {
+    for (int64_t k = 0; k < shard_counts[code]; ++k) {
+      out[pos++] = static_cast<uint32_t>(code);
+    }
+  }
+  MDRR_CHECK_EQ(pos, end);
+  rng.ShuffleU32(out + begin, end - begin);
+}
+
+// Sharded expansion of one column: apportion `distribution` over n
+// records, split the counts across shards, and let every shard expand
+// and shuffle its own row range on stream (stream_base + shard).
+std::vector<uint32_t> ExpandAndShuffleSharded(
+    const std::vector<double>& distribution, int64_t n,
+    const RngStreamFamily& family, uint64_t stream_base, size_t shard_size,
+    size_t num_threads) {
+  std::vector<int64_t> counts = ApportionCounts(distribution, n);
+  std::vector<std::vector<int64_t>> per_shard =
+      ApportionCountsAcrossShards(counts, n, shard_size);
+  std::vector<uint32_t> column(static_cast<size_t>(n));
+  ParallelChunks(static_cast<size_t>(n), shard_size, num_threads,
+                 [&](size_t /*worker*/, size_t shard, size_t begin,
+                     size_t end) {
+                   Rng rng = family.Stream(stream_base + shard);
+                   FillShard(per_shard[shard], column.data(), begin, end,
+                             rng);
+                 });
   return column;
 }
 
@@ -68,6 +104,53 @@ std::vector<int64_t> ApportionCounts(const std::vector<double>& distribution,
   return counts;
 }
 
+std::vector<std::vector<int64_t>> ApportionCountsAcrossShards(
+    const std::vector<int64_t>& counts, int64_t n, size_t shard_size) {
+  MDRR_CHECK_GT(n, 0);
+  MDRR_CHECK_GT(shard_size, 0u);
+  const size_t num_shards = NumChunks(static_cast<size_t>(n), shard_size);
+  std::vector<std::vector<int64_t>> per_shard(num_shards);
+
+  std::vector<int64_t> remaining = counts;
+  int64_t remaining_n = n;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (s + 1 == num_shards) {
+      per_shard[s] = std::move(remaining);
+      break;
+    }
+    const int64_t rows = static_cast<int64_t>(
+        std::min<size_t>(shard_size, static_cast<size_t>(n) - s * shard_size));
+    // Exact rational quota remaining[c] * rows / remaining_n: floor via
+    // integer division, then the leftover rows go to the largest
+    // fractional remainders (ties by category index). A category with a
+    // positive remainder has floor < quota <= remaining[c], so the +1
+    // never overdraws it.
+    std::vector<int64_t> share(remaining.size(), 0);
+    std::vector<int64_t> frac(remaining.size(), 0);
+    int64_t assigned = 0;
+    for (size_t c = 0; c < remaining.size(); ++c) {
+      share[c] = remaining[c] * rows / remaining_n;
+      frac[c] = remaining[c] * rows % remaining_n;
+      assigned += share[c];
+    }
+    std::vector<size_t> order(remaining.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (frac[a] != frac[b]) return frac[a] > frac[b];
+      return a < b;
+    });
+    for (int64_t k = 0; k < rows - assigned; ++k) {
+      ++share[order[static_cast<size_t>(k)]];
+    }
+    for (size_t c = 0; c < remaining.size(); ++c) {
+      remaining[c] -= share[c];
+    }
+    remaining_n -= rows;
+    per_shard[s] = std::move(share);
+  }
+  return per_shard;
+}
+
 StatusOr<Dataset> SynthesizeFromIndependent(const RrIndependentResult& result,
                                             int64_t n, Rng& rng) {
   if (n <= 0) return Status::InvalidArgument("n must be positive");
@@ -96,6 +179,57 @@ StatusOr<Dataset> SynthesizeFromClusters(const RrClustersResult& result,
       for (size_t row = 0; row < composite.size(); ++row) {
         column[row] = joint.domain.DecodeAt(composite[row], position);
       }
+      columns[result.clusters[c][position]] = std::move(column);
+    }
+  }
+  return Dataset(source.schema(), std::move(columns));
+}
+
+StatusOr<Dataset> SynthesizeFromIndependentSharded(
+    const RrIndependentResult& result, int64_t n,
+    const RngStreamFamily& family, size_t shard_size, size_t num_threads) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  if (shard_size == 0) shard_size = 1;
+  const Dataset& source = result.randomized;
+  const uint64_t num_shards =
+      NumChunks(static_cast<size_t>(n), shard_size);
+  std::vector<std::vector<uint32_t>> columns(source.num_attributes());
+  for (size_t j = 0; j < source.num_attributes(); ++j) {
+    columns[j] = ExpandAndShuffleSharded(result.estimated[j], n, family,
+                                         1 + j * num_shards, shard_size,
+                                         num_threads);
+  }
+  return Dataset(source.schema(), std::move(columns));
+}
+
+StatusOr<Dataset> SynthesizeFromClustersSharded(
+    const RrClustersResult& result, int64_t n, const RngStreamFamily& family,
+    size_t shard_size, size_t num_threads) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  if (shard_size == 0) shard_size = 1;
+  const Dataset& source = result.randomized;
+  const uint64_t num_shards =
+      NumChunks(static_cast<size_t>(n), shard_size);
+  std::vector<std::vector<uint32_t>> columns(source.num_attributes());
+
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    const RrJointResult& joint = result.cluster_results[c];
+    std::vector<uint32_t> composite = ExpandAndShuffleSharded(
+        joint.estimated, n, family, 1 + c * num_shards, shard_size,
+        num_threads);
+    // Decode the composite codes into the cluster's attribute columns;
+    // rows are independent, so the decode shards freely too.
+    for (size_t position = 0; position < result.clusters[c].size();
+         ++position) {
+      std::vector<uint32_t> column(composite.size());
+      ParallelChunks(composite.size(), shard_size, num_threads,
+                     [&](size_t /*worker*/, size_t /*shard*/, size_t begin,
+                         size_t end) {
+                       for (size_t row = begin; row < end; ++row) {
+                         column[row] =
+                             joint.domain.DecodeAt(composite[row], position);
+                       }
+                     });
       columns[result.clusters[c][position]] = std::move(column);
     }
   }

@@ -24,6 +24,16 @@ namespace mdrr {
 std::vector<int64_t> ApportionCounts(const std::vector<double>& distribution,
                                      int64_t n);
 
+// Splits apportioned category counts across record shards of
+// `shard_size` (the last shard may be short). Shard s receives a
+// largest-remainder-proportional slice of every category's remaining
+// count, so each shard's composition tracks the global distribution
+// while the per-shard row counts and the per-category totals are both
+// met exactly. Deterministic (integer arithmetic, ties by category
+// index). Preconditions: counts sum to n, n > 0, shard_size > 0.
+std::vector<std::vector<int64_t>> ApportionCountsAcrossShards(
+    const std::vector<int64_t>& counts, int64_t n, size_t shard_size);
+
 // Synthetic data from RR-Independent estimates: each attribute column is
 // apportioned from its estimated marginal and shuffled independently.
 StatusOr<Dataset> SynthesizeFromIndependent(const RrIndependentResult& result,
@@ -34,6 +44,26 @@ StatusOr<Dataset> SynthesizeFromIndependent(const RrIndependentResult& result,
 // decoded into the cluster's attributes; clusters are independent.
 StatusOr<Dataset> SynthesizeFromClusters(const RrClustersResult& result,
                                          int64_t n, Rng& rng);
+
+// --- Sharded synthesis (the batch-engine path) ---
+//
+// The sequential functions above expand each column once and run one
+// global O(n) shuffle on a single stream. The sharded forms instead
+// apportion each column's counts across record shards
+// (ApportionCountsAcrossShards) and shuffle every shard with its own
+// deterministic sub-stream: column (or cluster) c's shard s draws from
+// family.Stream(1 + c * num_shards + s), mirroring the
+// BatchPerturbationEngine stream layout. Output is a pure function of
+// (estimates, n, family, shard_size) -- bit-identical for any thread
+// count -- but draws different bits than the sequential functions.
+
+StatusOr<Dataset> SynthesizeFromIndependentSharded(
+    const RrIndependentResult& result, int64_t n,
+    const RngStreamFamily& family, size_t shard_size, size_t num_threads);
+
+StatusOr<Dataset> SynthesizeFromClustersSharded(
+    const RrClustersResult& result, int64_t n, const RngStreamFamily& family,
+    size_t shard_size, size_t num_threads);
 
 }  // namespace mdrr
 

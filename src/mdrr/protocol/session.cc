@@ -1,9 +1,14 @@
 #include "mdrr/protocol/session.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
 #include "mdrr/core/dependence.h"
 #include "mdrr/core/estimator.h"
 #include "mdrr/core/privacy.h"
+#include "mdrr/stats/frequency.h"
 
 namespace mdrr::protocol {
 
@@ -46,8 +51,13 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
   if (n == 0) {
     return Status::InvalidArgument("a session needs at least one party");
   }
+  const size_t shard_size = std::max<size_t>(1, options.shard_size);
+  const size_t threads = options.num_threads;
 
-  // Instantiate the parties; each gets an independent private stream.
+  // Instantiate the parties. Seeds are drawn serially (the seed sequence
+  // is part of the session transcript); after that each party's
+  // randomness is self-contained, so publications shard freely with
+  // bit-identical output at any thread count.
   Rng seeder(options.seed);
   std::vector<Party> parties;
   parties.reserve(n);
@@ -59,7 +69,8 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
 
   SessionResult result;
 
-  // --- Round 1: per-attribute randomized publication (Section 4.1). ---
+  // --- Round 1: per-attribute randomized publication (Section 4.1),
+  // parties publishing in sharded batches. ---
   std::vector<RrMatrix> round1_matrices;
   round1_matrices.reserve(m);
   for (size_t j = 0; j < m; ++j) {
@@ -67,22 +78,38 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
         dataset.attribute(j).cardinality(), options.round1_keep_probability));
     result.round1_epsilon += round1_matrices.back().Epsilon();
   }
-  Dataset round1_data(dataset.schema());
-  for (Party& party : parties) {
-    round1_data.AppendRow(party.PublishIndependent(round1_matrices));
-    ++result.messages_round1;
-  }
+  std::vector<std::vector<uint32_t>> round1_columns(
+      m, std::vector<uint32_t>(n));
+  ParallelChunks(n, shard_size, threads,
+                 [&](size_t /*worker*/, size_t /*shard*/, size_t begin,
+                     size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     std::vector<uint32_t> published =
+                         parties[i].PublishIndependent(round1_matrices);
+                     for (size_t j = 0; j < m; ++j) {
+                       round1_columns[j][i] = published[j];
+                     }
+                   }
+                 });
+  Dataset round1_data(dataset.schema(), std::move(round1_columns));
+  result.messages_round1 = n;
 
-  // Controller: dependences on the randomized data, then Algorithm 1,
-  // then one clustering broadcast to every party.
-  linalg::Matrix dependences = DependenceMatrix(round1_data);
+  // Controller: dependences on the randomized data (pair grid and
+  // contingency accumulation sharded), then Algorithm 1, then one
+  // clustering broadcast to every party.
+  DependenceShardingOptions dependence_sharding;
+  dependence_sharding.num_threads = threads;
+  dependence_sharding.record_chunk_size = shard_size;
+  linalg::Matrix dependences = DependenceMatrixSharded(
+      round1_data, DependenceMeasure::kPaperAuto, dependence_sharding);
   MDRR_ASSIGN_OR_RETURN(
       result.clusters,
       ClusterAttributes(dataset.Cardinalities(), dependences,
                         options.clustering));
   result.messages_broadcast = n;
 
-  // --- Round 2: cluster-wise publication (Section 6.3.2 calibration). ---
+  // --- Round 2: cluster-wise publication (Section 6.3.2 calibration),
+  // again in sharded batches. ---
   std::vector<RrMatrix> cluster_matrices;
   for (const std::vector<size_t>& cluster : result.clusters) {
     result.cluster_domains.push_back(
@@ -93,35 +120,49 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
         static_cast<size_t>(result.cluster_domains.back().size()), budget));
     result.round2_epsilon += cluster_matrices.back().Epsilon();
   }
+  const size_t num_clusters = result.clusters.size();
   std::vector<std::vector<uint32_t>> cluster_codes(
-      result.clusters.size(), std::vector<uint32_t>());
-  for (auto& codes : cluster_codes) codes.reserve(n);
-  for (Party& party : parties) {
-    std::vector<uint32_t> published = party.PublishClusters(
-        result.clusters, result.cluster_domains, cluster_matrices);
-    for (size_t c = 0; c < published.size(); ++c) {
-      cluster_codes[c].push_back(published[c]);
-    }
-    ++result.messages_round2;
-  }
+      num_clusters, std::vector<uint32_t>(n));
+  ParallelChunks(n, shard_size, threads,
+                 [&](size_t /*worker*/, size_t /*shard*/, size_t begin,
+                     size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     std::vector<uint32_t> published =
+                         parties[i].PublishClusters(result.clusters,
+                                                    result.cluster_domains,
+                                                    cluster_matrices);
+                     for (size_t c = 0; c < num_clusters; ++c) {
+                       cluster_codes[c][i] = published[c];
+                     }
+                   }
+                 });
+  result.messages_round2 = n;
 
-  // Controller: Eq. (2) estimation per cluster, decode Y.
+  // Controller: Eq. (2) estimation per cluster, decode Y. Counting is
+  // sharded with per-worker integer buffers (merge order immaterial).
   result.randomized = dataset;
-  for (size_t c = 0; c < result.clusters.size(); ++c) {
+  for (size_t c = 0; c < num_clusters; ++c) {
     const Domain& domain = result.cluster_domains[c];
-    std::vector<double> lambda = EmpiricalDistribution(
-        cluster_codes[c], static_cast<size_t>(domain.size()));
+    stats::FrequencyTable counts = stats::ShardedHistogram(
+        n, static_cast<size_t>(domain.size()), shard_size, threads,
+        [&](size_t i) { return cluster_codes[c][i]; });
     MDRR_ASSIGN_OR_RETURN(
         std::vector<double> estimated,
-        EstimateProjectedDistribution(cluster_matrices[c], lambda));
+        EstimateProjectedDistribution(cluster_matrices[c],
+                                      counts.Proportions()));
     result.cluster_joints.push_back(std::move(estimated));
 
     for (size_t position = 0; position < result.clusters[c].size();
          ++position) {
       std::vector<uint32_t> column(n);
-      for (size_t i = 0; i < n; ++i) {
-        column[i] = domain.DecodeAt(cluster_codes[c][i], position);
-      }
+      ParallelChunks(n, shard_size, threads,
+                     [&](size_t /*worker*/, size_t /*shard*/, size_t begin,
+                         size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         column[i] =
+                             domain.DecodeAt(cluster_codes[c][i], position);
+                       }
+                     });
       result.randomized.SetColumn(result.clusters[c][position],
                                   std::move(column));
     }

@@ -63,6 +63,15 @@ struct SessionOptions {
   // Keep probability of the round-1 (dependence assessment) publication.
   double round1_keep_probability = 0.7;
   uint64_t seed = 1;
+  // Worker threads for the sharded phases (party publications in both
+  // rounds, the controller's pairwise statistics, per-cluster counting
+  // and decode); 0 means one per hardware core. Party seeds are drawn
+  // serially and each party's randomness is self-contained, so the
+  // session transcript is bit-identical for any thread count.
+  size_t num_threads = 1;
+  // Parties per publication batch (the work-distribution grain; never
+  // changes results).
+  size_t shard_size = 1 << 16;
 };
 
 struct SessionResult {

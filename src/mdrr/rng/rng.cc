@@ -83,6 +83,15 @@ std::vector<int64_t> Rng::Multinomial(
   return counts;
 }
 
+void Rng::ShuffleU32(uint32_t* data, size_t count) {
+  for (size_t k = count; k > 1; --k) {
+    size_t j = static_cast<size_t>(UniformInt(k));
+    uint32_t tmp = data[k - 1];
+    data[k - 1] = data[j];
+    data[j] = tmp;
+  }
+}
+
 Rng Rng::Fork() {
   uint64_t child_seed = engine_();
   return Rng(child_seed);

@@ -42,6 +42,13 @@ class Rng {
   std::vector<int64_t> Multinomial(int64_t n,
                                    const std::vector<double>& probabilities);
 
+  // Uniform Fisher-Yates shuffle of data[0, count). Unlike std::shuffle,
+  // whose draw sequence is implementation-defined, this consumes exactly
+  // count - 1 UniformInt draws in a fixed order, so shuffled output is
+  // part of the library's cross-platform determinism contract (per-shard
+  // synthetic release).
+  void ShuffleU32(uint32_t* data, size_t count);
+
   // Derives an independent child generator (for per-party streams).
   Rng Fork();
 

@@ -6,8 +6,10 @@
 #define MDRR_STATS_FREQUENCY_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "mdrr/common/parallel.h"
 #include "mdrr/common/status_or.h"
 
 namespace mdrr::stats {
@@ -37,6 +39,32 @@ class FrequencyTable {
   std::vector<int64_t> counts_;
   int64_t total_;
 };
+
+// Sharded histogram: counts code_of(i) for i in [0, n) across worker
+// threads, each worker accumulating into its own buffer, with the
+// partial tables merged by Absorb. Integer sums commute, so the result
+// is a pure function of (n, code_of) -- independent of thread count,
+// chunk size, and which worker claimed which chunk. `code_of` must be
+// safe to call concurrently and return values < num_categories.
+template <typename CodeFn>
+FrequencyTable ShardedHistogram(size_t n, size_t num_categories,
+                                size_t chunk_size, size_t num_threads,
+                                const CodeFn& code_of) {
+  const size_t workers = ResolveWorkerCount(num_threads, n, chunk_size);
+  std::vector<std::vector<int64_t>> worker_counts(
+      workers, std::vector<int64_t>(num_categories, 0));
+  ParallelChunks(n, chunk_size, num_threads,
+                 [&](size_t worker, size_t /*chunk*/, size_t begin,
+                     size_t end) {
+                   int64_t* buf = worker_counts[worker].data();
+                   for (size_t i = begin; i < end; ++i) ++buf[code_of(i)];
+                 });
+  FrequencyTable total(std::move(worker_counts[0]));
+  for (size_t w = 1; w < workers; ++w) {
+    total.Absorb(FrequencyTable(std::move(worker_counts[w])));
+  }
+  return total;
+}
 
 // Joint counts of two categorical variables.
 class ContingencyTable {

@@ -1,0 +1,447 @@
+// Thread-count invariance of the full sharded release pipeline: every
+// stage (dependence assessment, adjustment, synthetic release, the
+// party-level session, and the engine-driven composition of all of
+// them) must produce bit-identical output at 1/2/4/8 workers for a
+// fixed seed. Plus a regression pinning the fused Algorithm 2 rewrite
+// to the sequential seed implementation's convergence behavior.
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdrr/core/adjustment.h"
+#include "mdrr/core/batch_engine.h"
+#include "mdrr/core/dependence.h"
+#include "mdrr/core/dependence_estimators.h"
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/rr_clusters.h"
+#include "mdrr/core/synthetic.h"
+#include "mdrr/dataset/adult.h"
+#include "mdrr/protocol/session.h"
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+void ExpectSameDataset(const Dataset& a, const Dataset& b,
+                       const char* what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.num_attributes(), b.num_attributes()) << what;
+  for (size_t j = 0; j < a.num_attributes(); ++j) {
+    EXPECT_EQ(a.column(j), b.column(j)) << what << " column " << j;
+  }
+}
+
+void ExpectSameMatrix(const linalg::Matrix& a, const linalg::Matrix& b,
+                      const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << what << " cell " << i << "," << j;
+    }
+  }
+}
+
+// --- Dependence assessment ---
+
+TEST(ParallelDependenceTest, ShardedMatrixBitIdenticalAcrossThreads) {
+  Dataset data = SynthesizeAdult(3000, 2020);
+  DependenceShardingOptions baseline_options;
+  baseline_options.num_threads = 1;
+  baseline_options.record_chunk_size = 256;
+  linalg::Matrix baseline = DependenceMatrixSharded(
+      data, DependenceMeasure::kPaperAuto, baseline_options);
+  for (size_t threads : kThreadSweep) {
+    DependenceShardingOptions options;
+    options.num_threads = threads;
+    options.record_chunk_size = 256;
+    linalg::Matrix run =
+        DependenceMatrixSharded(data, DependenceMeasure::kPaperAuto, options);
+    ExpectSameMatrix(baseline, run, "dependences");
+  }
+}
+
+TEST(ParallelDependenceTest, ChunkSizeNeverChangesTheMatrix) {
+  // Joint counts are integers, so unlike the double reductions the
+  // dependence matrix is invariant to the chunk grain too.
+  Dataset data = SynthesizeAdult(1500, 7);
+  DependenceShardingOptions a_options;
+  a_options.num_threads = 4;
+  a_options.record_chunk_size = 64;
+  DependenceShardingOptions b_options;
+  b_options.num_threads = 2;
+  b_options.record_chunk_size = 1 << 16;
+  ExpectSameMatrix(
+      DependenceMatrixSharded(data, DependenceMeasure::kPaperAuto, a_options),
+      DependenceMatrixSharded(data, DependenceMeasure::kPaperAuto, b_options),
+      "dependences");
+}
+
+TEST(ParallelDependenceTest, MatchesSequentialStatistics) {
+  Dataset data = SynthesizeAdult(2000, 11);
+  DependenceShardingOptions options;
+  options.num_threads = 4;
+  options.record_chunk_size = 512;
+  linalg::Matrix sharded =
+      DependenceMatrixSharded(data, DependenceMeasure::kPaperAuto, options);
+  linalg::Matrix sequential = DependenceMatrix(data);
+  for (size_t i = 0; i < sharded.rows(); ++i) {
+    for (size_t j = 0; j < sharded.cols(); ++j) {
+      // Cramér's V pairs are bitwise equal; ordinal-ordinal |Pearson| is
+      // evaluated from the joint table and may differ in the last ulps.
+      EXPECT_NEAR(sharded(i, j), sequential(i, j), 1e-9)
+          << "cell " << i << "," << j;
+    }
+  }
+}
+
+TEST(ParallelDependenceTest, EveryMeasureIsThreadCountInvariant) {
+  Dataset data = SynthesizeAdult(800, 3);
+  for (DependenceMeasure measure :
+       {DependenceMeasure::kPaperAuto, DependenceMeasure::kCramersV,
+        DependenceMeasure::kAbsPearson,
+        DependenceMeasure::kNormalizedMutualInformation}) {
+    DependenceShardingOptions one;
+    one.num_threads = 1;
+    one.record_chunk_size = 128;
+    linalg::Matrix baseline = DependenceMatrixSharded(data, measure, one);
+    DependenceShardingOptions many;
+    many.num_threads = 8;
+    many.record_chunk_size = 128;
+    ExpectSameMatrix(baseline, DependenceMatrixSharded(data, measure, many),
+                     "measure matrix");
+  }
+}
+
+TEST(ParallelDependenceTest, RandomizedResponseShardedIsDeterministic) {
+  Dataset data = SynthesizeAdult(1200, 5);
+  DependenceShardingOptions one;
+  one.num_threads = 1;
+  DependenceEstimate baseline =
+      RandomizedResponseDependencesSharded(data, 0.7, 99, one);
+  for (size_t threads : kThreadSweep) {
+    DependenceShardingOptions options;
+    options.num_threads = threads;
+    DependenceEstimate run =
+        RandomizedResponseDependencesSharded(data, 0.7, 99, options);
+    EXPECT_EQ(baseline.epsilon, run.epsilon);
+    ExpectSameMatrix(baseline.dependences, run.dependences, "rr dependences");
+  }
+}
+
+// --- Adjustment ---
+
+// The sequential seed implementation of Algorithm 2, kept verbatim as
+// the behavioral reference for the fused rewrite.
+AdjustmentResult ReferenceAdjustment(const std::vector<AdjustmentGroup>& groups,
+                                     size_t num_records,
+                                     const AdjustmentOptions& options) {
+  AdjustmentResult result;
+  result.weights.assign(num_records, 1.0 / static_cast<double>(num_records));
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (const AdjustmentGroup& group : groups) {
+      std::vector<double> implied(group.target.size(), 0.0);
+      for (size_t i = 0; i < num_records; ++i) {
+        implied[group.codes[i]] += result.weights[i];
+      }
+      std::vector<double> ratio(group.target.size(), 1.0);
+      for (size_t v = 0; v < ratio.size(); ++v) {
+        if (implied[v] > 0.0) ratio[v] = group.target[v] / implied[v];
+      }
+      for (size_t i = 0; i < num_records; ++i) {
+        result.weights[i] *= ratio[group.codes[i]];
+      }
+      double total = 0.0;
+      for (double w : result.weights) total += w;
+      for (double& w : result.weights) w /= total;
+    }
+    result.iterations = iter + 1;
+    double max_gap = 0.0;
+    for (const AdjustmentGroup& group : groups) {
+      std::vector<double> implied(group.target.size(), 0.0);
+      for (size_t i = 0; i < num_records; ++i) {
+        implied[group.codes[i]] += result.weights[i];
+      }
+      for (size_t v = 0; v < implied.size(); ++v) {
+        max_gap = std::max(max_gap, std::fabs(implied[v] - group.target[v]));
+      }
+    }
+    result.max_marginal_gap = max_gap;
+    if (max_gap < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<AdjustmentGroup> MakeAdjustmentGroups(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AdjustmentGroup> groups(3);
+  groups[0].target = {0.5, 0.3, 0.2};
+  groups[1].target = {0.4, 0.6};
+  groups[2].target = {0.25, 0.25, 0.25, 0.25};
+  for (size_t i = 0; i < n; ++i) {
+    groups[0].codes.push_back(static_cast<uint32_t>(rng.UniformInt(3)));
+    groups[1].codes.push_back(static_cast<uint32_t>(rng.UniformInt(2)));
+    groups[2].codes.push_back(static_cast<uint32_t>(rng.UniformInt(4)));
+  }
+  return groups;
+}
+
+TEST(ParallelAdjustmentTest, WeightsBitIdenticalAcrossThreads) {
+  const size_t n = 4000;
+  std::vector<AdjustmentGroup> groups = MakeAdjustmentGroups(n, 17);
+  AdjustmentOptions baseline_options;
+  baseline_options.max_iterations = 200;
+  baseline_options.tolerance = 1e-12;
+  baseline_options.num_threads = 1;
+  baseline_options.chunk_size = 256;
+  auto baseline = RunRrAdjustment(groups, n, baseline_options);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : kThreadSweep) {
+    AdjustmentOptions options = baseline_options;
+    options.num_threads = threads;
+    auto run = RunRrAdjustment(groups, n, options);
+    ASSERT_TRUE(run.ok()) << "threads=" << threads;
+    EXPECT_EQ(baseline.value().weights, run.value().weights)
+        << "threads=" << threads;
+    EXPECT_EQ(baseline.value().iterations, run.value().iterations);
+    EXPECT_EQ(baseline.value().max_marginal_gap,
+              run.value().max_marginal_gap);
+    EXPECT_EQ(baseline.value().converged, run.value().converged);
+  }
+}
+
+TEST(ParallelAdjustmentTest, ConvergesInSameIterationCountAsReference) {
+  // Representative workloads: consistent random targets, the paper's
+  // Example 1 shape, and an unreachable-mass case.
+  struct Case {
+    std::vector<AdjustmentGroup> groups;
+    size_t n;
+  };
+  std::vector<Case> cases;
+  cases.push_back({MakeAdjustmentGroups(2500, 23), 2500});
+  {
+    std::vector<AdjustmentGroup> example(2);
+    example[0].codes = {0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+    example[0].target = {0.5, 0.5};
+    example[1].codes = {0, 0, 0, 0, 0, 0, 1, 1, 1, 1};
+    example[1].target = {0.5, 0.5};
+    cases.push_back({example, 10});
+  }
+  {
+    std::vector<AdjustmentGroup> unreachable(1);
+    unreachable[0].codes = {0, 0, 0, 0};
+    unreachable[0].target = {0.7, 0.3};
+    cases.push_back({unreachable, 4});
+  }
+
+  for (size_t k = 0; k < cases.size(); ++k) {
+    AdjustmentOptions options;
+    options.max_iterations = 150;
+    options.tolerance = 1e-10;
+    options.num_threads = 4;
+    options.chunk_size = 512;
+    auto fused = RunRrAdjustment(cases[k].groups, cases[k].n, options);
+    ASSERT_TRUE(fused.ok()) << "case " << k;
+    AdjustmentResult reference =
+        ReferenceAdjustment(cases[k].groups, cases[k].n, options);
+    EXPECT_EQ(fused.value().iterations, reference.iterations)
+        << "case " << k;
+    EXPECT_EQ(fused.value().converged, reference.converged) << "case " << k;
+    ASSERT_EQ(fused.value().weights.size(), reference.weights.size());
+    for (size_t i = 0; i < reference.weights.size(); ++i) {
+      EXPECT_NEAR(fused.value().weights[i], reference.weights[i], 1e-9)
+          << "case " << k << " record " << i;
+    }
+    EXPECT_NEAR(fused.value().max_marginal_gap, reference.max_marginal_gap,
+                1e-9)
+        << "case " << k;
+  }
+}
+
+// --- Synthetic release ---
+
+TEST(ParallelSyntheticTest, ShardSplitMeetsBothMarginalsExactly) {
+  std::vector<int64_t> counts = {5000, 1, 0, 2345, 17, 4637};
+  const int64_t n =
+      std::accumulate(counts.begin(), counts.end(), int64_t{0});
+  const size_t shard_size = 1000;
+  auto per_shard = ApportionCountsAcrossShards(counts, n, shard_size);
+  std::vector<int64_t> category_totals(counts.size(), 0);
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    int64_t rows = 0;
+    for (size_t c = 0; c < counts.size(); ++c) {
+      EXPECT_GE(per_shard[s][c], 0);
+      rows += per_shard[s][c];
+      category_totals[c] += per_shard[s][c];
+    }
+    int64_t expected_rows = std::min<int64_t>(
+        static_cast<int64_t>(shard_size),
+        n - static_cast<int64_t>(s * shard_size));
+    EXPECT_EQ(rows, expected_rows) << "shard " << s;
+  }
+  EXPECT_EQ(category_totals, counts);
+}
+
+TEST(ParallelSyntheticTest, ReleaseBitIdenticalAcrossThreads) {
+  Dataset data = SynthesizeAdult(3000, 13);
+  BatchPerturbationOptions engine_options;
+  engine_options.seed = 4;
+  engine_options.shard_size = 300;
+  engine_options.num_threads = 1;
+  BatchPerturbationEngine engine(engine_options);
+  auto release = engine.RunIndependent(data, RrIndependentOptions{0.7});
+  ASSERT_TRUE(release.ok());
+
+  auto baseline = engine.SynthesizeIndependent(*release, 2500);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : kThreadSweep) {
+    BatchPerturbationOptions options = engine_options;
+    options.num_threads = threads;
+    auto run = BatchPerturbationEngine(options).SynthesizeIndependent(
+        *release, 2500);
+    ASSERT_TRUE(run.ok());
+    ExpectSameDataset(baseline.value(), run.value(), "synthetic");
+  }
+}
+
+TEST(ParallelSyntheticTest, ShardedMarginalsMatchApportionedCounts) {
+  // Per-shard apportionment must preserve the exact global counts the
+  // sequential expansion would produce; only the record order differs.
+  Dataset data = SynthesizeAdult(2000, 29);
+  BatchPerturbationOptions engine_options;
+  engine_options.seed = 6;
+  engine_options.shard_size = 128;
+  engine_options.num_threads = 4;
+  BatchPerturbationEngine engine(engine_options);
+  auto release = engine.RunIndependent(data, RrIndependentOptions{0.8});
+  ASSERT_TRUE(release.ok());
+  const int64_t n = 1777;
+  auto synthetic = engine.SynthesizeIndependent(*release, n);
+  ASSERT_TRUE(synthetic.ok());
+  ASSERT_EQ(synthetic.value().num_rows(), static_cast<size_t>(n));
+  for (size_t j = 0; j < data.num_attributes(); ++j) {
+    std::vector<int64_t> expected =
+        ApportionCounts(release.value().estimated[j], n);
+    std::vector<int64_t> got(expected.size(), 0);
+    for (uint32_t code : synthetic.value().column(j)) ++got[code];
+    EXPECT_EQ(got, expected) << "attribute " << j;
+  }
+}
+
+TEST(ParallelSyntheticTest, ClustersReleaseBitIdenticalAcrossThreads) {
+  Dataset data = SynthesizeAdult(2500, 31);
+  BatchPerturbationOptions engine_options;
+  engine_options.seed = 8;
+  engine_options.shard_size = 250;
+  engine_options.num_threads = 1;
+  RrClustersOptions cluster_options;
+  cluster_options.keep_probability = 0.75;
+  auto release =
+      BatchPerturbationEngine(engine_options).RunClusters(data,
+                                                          cluster_options);
+  ASSERT_TRUE(release.ok());
+  auto baseline =
+      BatchPerturbationEngine(engine_options).SynthesizeClusters(*release,
+                                                                 2000);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : kThreadSweep) {
+    BatchPerturbationOptions options = engine_options;
+    options.num_threads = threads;
+    auto run =
+        BatchPerturbationEngine(options).SynthesizeClusters(*release, 2000);
+    ASSERT_TRUE(run.ok());
+    ExpectSameDataset(baseline.value(), run.value(), "cluster synthetic");
+  }
+}
+
+// --- Party-level session ---
+
+TEST(ParallelSessionTest, TranscriptBitIdenticalAcrossThreads) {
+  Dataset data = SynthesizeAdult(1500, 37);
+  protocol::SessionOptions baseline_options;
+  baseline_options.seed = 21;
+  baseline_options.clustering = ClusteringOptions{50.0, 0.1};
+  baseline_options.num_threads = 1;
+  baseline_options.shard_size = 200;
+  auto baseline = protocol::RunDistributedSession(data, baseline_options);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : kThreadSweep) {
+    protocol::SessionOptions options = baseline_options;
+    options.num_threads = threads;
+    auto run = protocol::RunDistributedSession(data, options);
+    ASSERT_TRUE(run.ok()) << "threads=" << threads;
+    EXPECT_EQ(baseline.value().clusters, run.value().clusters);
+    EXPECT_EQ(baseline.value().cluster_joints, run.value().cluster_joints);
+    EXPECT_EQ(baseline.value().round1_epsilon, run.value().round1_epsilon);
+    EXPECT_EQ(baseline.value().round2_epsilon, run.value().round2_epsilon);
+    ExpectSameDataset(baseline.value().randomized, run.value().randomized,
+                      "session Y");
+  }
+}
+
+// --- Full pipeline through the engine ---
+
+TEST(ParallelPipelineTest, EndToEndBitIdenticalAcrossThreads) {
+  // The acceptance contract: perturb + assess + cluster + estimate +
+  // adjust + synthesize, all through the engine, bit-identical at any
+  // worker count.
+  Dataset data = SynthesizeAdult(2000, 41);
+  RrClustersOptions cluster_options;
+  cluster_options.keep_probability = 0.7;
+  cluster_options.dependence_source = DependenceSource::kRandomizedResponse;
+
+  struct PipelineOutput {
+    RrClustersResult release;
+    AdjustmentResult adjustment;
+    Dataset synthetic;
+  };
+  auto run_pipeline = [&](size_t threads) -> PipelineOutput {
+    BatchPerturbationOptions options;
+    options.seed = 12;
+    options.shard_size = 200;
+    options.num_threads = threads;
+    BatchPerturbationEngine engine(options);
+    auto release = engine.RunClusters(data, cluster_options);
+    EXPECT_TRUE(release.ok());
+    AdjustmentOptions adjustment_options;
+    adjustment_options.max_iterations = 50;
+    auto adjustment = engine.RunAdjustment(GroupsFromClusters(*release),
+                                           data.num_rows(),
+                                           adjustment_options);
+    EXPECT_TRUE(adjustment.ok());
+    auto synthetic = engine.SynthesizeClusters(*release, 1500);
+    EXPECT_TRUE(synthetic.ok());
+    return {std::move(release).value(), std::move(adjustment).value(),
+            std::move(synthetic).value()};
+  };
+
+  PipelineOutput baseline = run_pipeline(1);
+  for (size_t threads : kThreadSweep) {
+    PipelineOutput run = run_pipeline(threads);
+    ASSERT_EQ(baseline.release.clusters, run.release.clusters);
+    ExpectSameMatrix(baseline.release.dependences, run.release.dependences,
+                     "pipeline dependences");
+    ExpectSameDataset(baseline.release.randomized, run.release.randomized,
+                      "pipeline Y");
+    for (size_t c = 0; c < baseline.release.cluster_results.size(); ++c) {
+      EXPECT_EQ(baseline.release.cluster_results[c].estimated,
+                run.release.cluster_results[c].estimated);
+    }
+    EXPECT_EQ(baseline.adjustment.weights, run.adjustment.weights);
+    EXPECT_EQ(baseline.adjustment.iterations, run.adjustment.iterations);
+    ExpectSameDataset(baseline.synthetic, run.synthetic,
+                      "pipeline synthetic");
+  }
+}
+
+}  // namespace
+}  // namespace mdrr

@@ -7,15 +7,18 @@
 //            [--no_header] [--p=0.7] [--tv=50] [--td=0.1]
 //            [--dep=oracle|rr|securesum|pairwise]
 //            [--randomized_out=y.csv] [--synthetic_out=s.csv] [--seed=1]
-//            [--threads=N]
+//            [--threads=N] [--shard=S]
 //       Run a full local-anonymization pipeline: randomize every record,
 //       print the estimated marginals and the privacy ledger, optionally
 //       write the randomized and/or synthetic data sets. Passing
-//       --threads routes perturbation through BatchPerturbationEngine
-//       with N workers (0 means one per hardware core), whose output is
-//       bit-identical for any N at a fixed --seed; omitting the flag
-//       runs the sequential column protocols, which draw from a
-//       different stream than the engine.
+//       --threads routes the WHOLE release through
+//       BatchPerturbationEngine with N workers (0 means one per
+//       hardware core): perturbation, the dependence-assessment
+//       statistics, and the synthetic release all shard, with output
+//       bit-identical for any N at a fixed --seed (--shard picks the
+//       records-per-shard grain, which IS part of the randomness
+//       contract). Omitting the flag runs the sequential column
+//       protocols, which draw from a different stream than the engine.
 //
 //   mdrr_cli risk --r=4 [--p=0.7] [--prior=0.4,0.3,0.2,0.1]
 //       Disclosure-risk analysis of a KeepUniform design: epsilon,
@@ -127,6 +130,8 @@ int CmdRun(const FlagSet& flags) {
   mdrr::BatchPerturbationOptions engine_options;
   engine_options.seed = seed;
   engine_options.num_threads = static_cast<size_t>(threads);
+  engine_options.shard_size =
+      static_cast<size_t>(flags.GetInt("shard", 1 << 16));
   mdrr::BatchPerturbationEngine engine(engine_options);
 
   mdrr::PrivacyAccountant accountant;
@@ -146,8 +151,12 @@ int CmdRun(const FlagSet& flags) {
     randomized = result.value().randomized;
     marginal_estimates = result.value().estimated;
     if (flags.Has("synthetic_out")) {
-      synthetic = mdrr::SynthesizeFromIndependent(
-          *result, static_cast<int64_t>(data.num_rows()), rng);
+      synthetic =
+          use_engine
+              ? engine.SynthesizeIndependent(
+                    *result, static_cast<int64_t>(data.num_rows()))
+              : mdrr::SynthesizeFromIndependent(
+                    *result, static_cast<int64_t>(data.num_rows()), rng);
     }
   } else if (method == "clusters") {
     mdrr::RrClustersOptions options;
@@ -189,8 +198,12 @@ int CmdRun(const FlagSet& flags) {
       }
     }
     if (flags.Has("synthetic_out")) {
-      synthetic = mdrr::SynthesizeFromClusters(
-          *result, static_cast<int64_t>(data.num_rows()), rng);
+      synthetic = use_engine
+                      ? engine.SynthesizeClusters(
+                            *result, static_cast<int64_t>(data.num_rows()))
+                      : mdrr::SynthesizeFromClusters(
+                            *result, static_cast<int64_t>(data.num_rows()),
+                            rng);
     }
   } else {
     return Fail(Status::InvalidArgument("unknown --method=" + method));
