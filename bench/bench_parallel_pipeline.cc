@@ -20,6 +20,7 @@
 //   --json_out=F   write the stage table as JSON (BENCH_pipeline.json
 //                  baseline format)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -234,6 +235,11 @@ int main(int argc, char** argv) {
   mdrr::protocol::SessionOptions session_options;
   session_options.keep_probability = p;
   session_options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  // The session grain is load-balancing only (never changes results), so
+  // size it to give the parallel run ~8 batches per worker; the default
+  // 65536 would clamp a 100k-party session to 2 workers.
+  session_options.shard_size = std::max<size_t>(
+      1, session_n / std::max<size_t>(1, 8 * threads));
   session_options.num_threads = 1;
   timer.Restart();
   auto session_one =

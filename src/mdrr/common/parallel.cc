@@ -49,9 +49,9 @@ void ParallelChunks(size_t n, size_t chunk_size, size_t num_threads,
 
 void ChunkedDoubleAccumulator::ReduceInto(double* out) const {
   for (size_t v = 0; v < width_; ++v) out[v] = 0.0;
-  const size_t num_chunks = width_ == 0 ? 0 : slots_.size() / width_;
+  const size_t num_chunks = stride_ == 0 ? 0 : slots_.size() / stride_;
   for (size_t c = 0; c < num_chunks; ++c) {
-    const double* row = slots_.data() + c * width_;
+    const double* row = slots_.data() + c * stride_;
     for (size_t v = 0; v < width_; ++v) out[v] += row[v];
   }
 }

@@ -45,14 +45,19 @@ size_t ResolveWorkerCount(size_t num_threads, size_t n, size_t chunk_size);
 // worker count.
 class ChunkedDoubleAccumulator {
  public:
-  // `width` slots per chunk, all zero-initialized.
+  // `width` slots per chunk, all zero-initialized. Rows are padded to a
+  // 64-byte stride so neighboring chunks' hot `+=` targets never share a
+  // cache line across workers (padding never enters the reduction).
   ChunkedDoubleAccumulator(size_t num_chunks, size_t width)
-      : width_(width), slots_(num_chunks * width, 0.0) {}
+      : width_(width),
+        stride_((width + kDoublesPerCacheLine - 1) / kDoublesPerCacheLine *
+                kDoublesPerCacheLine),
+        slots_(num_chunks * stride_, 0.0) {}
 
   // The slot row of `chunk_index` (length width()). Rows of distinct
   // chunks never alias, so workers write without synchronization.
   double* Row(size_t chunk_index) {
-    return slots_.data() + chunk_index * width_;
+    return slots_.data() + chunk_index * stride_;
   }
 
   // Re-zeroes every slot (buffer reuse across passes).
@@ -65,7 +70,10 @@ class ChunkedDoubleAccumulator {
   size_t width() const { return width_; }
 
  private:
+  static constexpr size_t kDoublesPerCacheLine = 8;
+
   size_t width_;
+  size_t stride_;
   std::vector<double> slots_;
 };
 

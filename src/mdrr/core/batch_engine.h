@@ -57,10 +57,13 @@ class BatchPerturbationEngine {
                                    const std::vector<size_t>& attributes,
                                    double epsilon) const;
 
-  // Parallel RR-Clusters: same result contract as RunRrClusters. The
+  // Parallel RR-Clusters: same result *shape* as RunRrClusters, agreeing
+  // statistically but not bit-for-bit (different RNG streams, and the
+  // Corollary 1 ordinal-ordinal |Pearson| is evaluated from joint counts
+  // rather than raw columns -- see DependenceMatrixSharded). The
   // dependence-assessment round's randomness is sequential (it is one
-  // privacy-budgeted interaction on stream 0), but its Corollary 1
-  // pairwise statistics shard across the pair grid and record ranges
+  // privacy-budgeted interaction on stream 0), but its pairwise
+  // statistics shard across the pair grid and record ranges
   // (AssessDependencesSharded); the per-cluster joint randomization is
   // sharded as before.
   StatusOr<RrClustersResult> RunClusters(

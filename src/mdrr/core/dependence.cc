@@ -218,35 +218,21 @@ std::vector<int64_t> PairCountsSerial(const std::vector<uint32_t>& codes_a,
   return counts;
 }
 
-// Joint counts of one pair sharded over record ranges: each worker
-// accumulates into its own buffer, and the partial tables are merged by
-// FrequencyTable::Absorb (integer sums commute, so the totals do not
-// depend on which worker claimed which chunk).
+// Joint counts of one pair sharded over record ranges (per-worker
+// buffers merged by FrequencyTable::Absorb inside ShardedHistogram).
 std::vector<int64_t> PairCountsSharded(const std::vector<uint32_t>& codes_a,
                                        const std::vector<uint32_t>& codes_b,
                                        size_t cardinality_a,
                                        size_t cardinality_b,
                                        const DependenceShardingOptions& options,
                                        size_t chunk_size) {
-  const size_t n = codes_a.size();
-  const size_t cells = cardinality_a * cardinality_b;
-  const size_t workers =
-      ResolveWorkerCount(options.num_threads, n, chunk_size);
-  std::vector<std::vector<int64_t>> worker_counts(
-      workers, std::vector<int64_t>(cells, 0));
-  ParallelChunks(n, chunk_size, options.num_threads,
-                 [&](size_t worker, size_t /*chunk*/, size_t begin,
-                     size_t end) {
-                   int64_t* buf = worker_counts[worker].data();
-                   for (size_t i = begin; i < end; ++i) {
-                     ++buf[codes_a[i] * cardinality_b + codes_b[i]];
-                   }
-                 });
-  stats::FrequencyTable total(std::move(worker_counts[0]));
-  for (size_t w = 1; w < workers; ++w) {
-    total.Absorb(stats::FrequencyTable(std::move(worker_counts[w])));
-  }
-  return total.counts();
+  return stats::ShardedHistogram(
+             codes_a.size(), cardinality_a * cardinality_b, chunk_size,
+             options.num_threads,
+             [&](size_t i) {
+               return codes_a[i] * cardinality_b + codes_b[i];
+             })
+      .counts();
 }
 
 }  // namespace

@@ -12,18 +12,11 @@ RrMatrix::RrMatrix(size_t size, linalg::UniformMixture structured)
     : size_(size), structured_(structured) {}
 
 RrMatrix::RrMatrix(size_t size, linalg::Matrix dense)
-    : size_(size), dense_(std::move(dense)) {
+    : size_(size), dense_(std::move(dense)),
+      transpose_lu_(std::make_shared<TransposeLuCell>()) {
   row_samplers_.reserve(size_);
   for (size_t u = 0; u < size_; ++u) {
     row_samplers_.emplace_back(dense_->Row(u));
-  }
-  // Factor Pᵀ once so every SolveTranspose is an O(r²) substitution and
-  // never re-materializes the transpose.
-  auto lu = linalg::LuDecomposition::Factor(dense_->Transpose());
-  if (lu.ok()) {
-    transpose_lu_ = std::move(lu).value();
-  } else {
-    transpose_factor_status_ = lu.status();
   }
 }
 
@@ -227,8 +220,14 @@ StatusOr<std::vector<double>> RrMatrix::SolveTranspose(
     // Structured matrices are symmetric, so Pᵀ = P.
     return structured_->ApplyInverse(b);
   }
-  if (!transpose_lu_) return transpose_factor_status_;
-  return transpose_lu_->Solve(b);
+  // Factor Pᵀ once, on first use; afterwards every solve is an O(r²)
+  // substitution and never re-materializes the transpose.
+  TransposeLuCell& cell = *transpose_lu_;
+  std::call_once(cell.once, [this, &cell] {
+    cell.factors = linalg::LuDecomposition::Factor(dense_->Transpose());
+  });
+  if (!cell.factors.ok()) return cell.factors.status();
+  return cell.factors.value().Solve(b);
 }
 
 }  // namespace mdrr

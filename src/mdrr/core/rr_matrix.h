@@ -10,6 +10,8 @@
 #define MDRR_CORE_RR_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -103,10 +105,11 @@ class RrMatrix {
 
   // Solves Pᵀ x = b -- the core of the Eq. (2) estimator. O(r) for
   // structured matrices; for dense ones the Pᵀ LU factorization is
-  // computed once at construction (O(r³)) and every solve is an O(r²)
-  // substitution against the cached factors -- e.g. the per-unit-vector
-  // variance loop of EstimateVariances costs O(r³) total instead of
-  // O(r⁴). Fails on singular P.
+  // computed lazily on the first solve (O(r³); randomize-only matrices
+  // never pay it) and every solve afterwards is an O(r²) substitution
+  // against the cached factors -- e.g. the per-unit-vector variance
+  // loop of EstimateVariances costs O(r³) total instead of O(r⁴).
+  // Thread-safe; copies share the cache. Fails on singular P.
   StatusOr<std::vector<double>> SolveTranspose(
       const std::vector<double>& b) const;
 
@@ -120,11 +123,17 @@ class RrMatrix {
   std::optional<linalg::Matrix> dense_;
   // Alias samplers per row (dense representation only).
   std::vector<AliasSampler> row_samplers_;
-  // Cached LU factors of Pᵀ (dense representation only; empty when Pᵀ is
-  // numerically singular, in which case SolveTranspose reports
-  // `transpose_factor_status_`).
-  std::optional<linalg::LuDecomposition> transpose_lu_;
-  Status transpose_factor_status_ = Status::OK();
+  // Lazily cached LU factors of Pᵀ (dense representation only), built
+  // under the cell's once-flag on the first SolveTranspose. The cell is
+  // held through a shared_ptr so RrMatrix stays copyable and every copy
+  // shares one flag AND one cache; the dense matrix is immutable, so
+  // sharing is safe.
+  struct TransposeLuCell {
+    std::once_flag once;
+    StatusOr<linalg::LuDecomposition> factors =
+        Status::FailedPrecondition("unfactored");
+  };
+  std::shared_ptr<TransposeLuCell> transpose_lu_;
 };
 
 }  // namespace mdrr
