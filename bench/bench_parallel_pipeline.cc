@@ -34,6 +34,7 @@
 #include "mdrr/core/synthetic.h"
 #include "mdrr/dataset/adult.h"
 #include "mdrr/protocol/session.h"
+#include "mdrr/release/planner.h"
 
 namespace {
 
@@ -228,6 +229,61 @@ int main(int argc, char** argv) {
   stages.push_back({"synthetic-release", synthetic_t1, synthetic_tn,
                     SameData(synthetic_one.value(), synthetic_many.value())});
   PrintStage(stages.back());
+
+  // --- The release façade driving the same composition end to end
+  // (clusters + adjustment + synthetic under one sharded-policy spec).
+  // The stage both measures the API layer's overhead -- its time should
+  // be within noise of the direct clusters+adjustment+synthetic sum
+  // above -- and asserts zero divergence: façade output must be
+  // bit-identical across thread counts AND to the direct engine calls.
+  mdrr::release::ReleaseSpec spec;
+  spec.mechanism.kind = mdrr::release::MechanismKind::kClusters;
+  spec.mechanism.dependence_source = clusters_options.dependence_source;
+  spec.budget.keep_probability = p;
+  spec.adjustment.enabled = true;
+  spec.adjustment.max_iterations = adjustment_options.max_iterations;
+  spec.synthetic.enabled = true;
+  spec.execution.kind = mdrr::release::PolicyKind::kSharded;
+  spec.execution.seed = single.options().seed;
+  spec.execution.shard_size = single.options().shard_size;
+
+  auto run_facade = [&](size_t facade_threads)
+      -> mdrr::StatusOr<mdrr::release::ReleaseArtifacts> {
+    spec.execution.num_threads = facade_threads;
+    MDRR_ASSIGN_OR_RETURN(mdrr::release::ReleasePlan plan,
+                          mdrr::release::ReleasePlanner::Plan(spec, &data));
+    return plan.Run();
+  };
+  timer.Restart();
+  auto facade_one = run_facade(1);
+  double facade_t1 = timer.Seconds();
+  timer.Restart();
+  auto facade_many = run_facade(threads);
+  double facade_tn = timer.Seconds();
+  if (!facade_one.ok() || !facade_many.ok()) {
+    std::fprintf(stderr, "release facade failed\n");
+    return 1;
+  }
+  bool facade_same =
+      SameData(facade_one.value().randomized,
+               facade_many.value().randomized) &&
+      facade_one.value().adjustment->weights ==
+          facade_many.value().adjustment->weights &&
+      SameData(*facade_one.value().synthetic,
+               *facade_many.value().synthetic) &&
+      // Zero divergence from the direct engine composition.
+      SameData(facade_one.value().randomized,
+               clusters_one.value().randomized) &&
+      facade_one.value().adjustment->weights ==
+          adjustment_one.value().weights &&
+      SameData(*facade_one.value().synthetic, synthetic_one.value());
+  stages.push_back({"release-facade", facade_t1, facade_tn, facade_same});
+  PrintStage(stages.back());
+  double direct_t1 = clusters_t1 + adjustment_t1 + synthetic_t1;
+  if (direct_t1 > 0.0) {
+    std::printf("# facade overhead vs direct composition (t1): %+.1f%%\n",
+                100.0 * (facade_t1 - direct_t1) / direct_t1);
+  }
 
   // --- Party-level two-round session. ---
   Dataset session_data =

@@ -1,13 +1,13 @@
-// Parallel batch pipeline: the BatchPerturbationEngine driving a full
+// Parallel batch pipeline: one sharded-policy ReleaseSpec driving a full
 // release -- perturbation, Algorithm 2 adjustment, and synthetic
 // release -- over a large synthetic Adult workload.
 //
-// The engine gives every fixed-size shard of records its own deterministic
-// RNG sub-stream (and merges floating-point partials in chunk order), so
-// every stage's output is bit-identical for any thread count -- this
-// example runs the same pipeline at 1 thread and at one-thread-per-core
-// and checks that claim before printing the estimated marginal of one
-// attribute.
+// The sharded execution policy gives every fixed-size shard of records
+// its own deterministic RNG sub-stream (and merges floating-point
+// partials in chunk order), so every stage's output is bit-identical for
+// any thread count. This example runs the SAME spec at 1 thread and at
+// one-thread-per-core and checks that claim before printing the
+// estimated marginal of one attribute.
 //
 // Build & run:  ./build/example_parallel_batch [--n=200000] [--p=0.7]
 
@@ -15,9 +15,8 @@
 #include <vector>
 
 #include "mdrr/common/flags.h"
-#include "mdrr/core/adjustment.h"
-#include "mdrr/core/batch_engine.h"
 #include "mdrr/dataset/adult.h"
+#include "mdrr/release/planner.h"
 
 int main(int argc, char** argv) {
   mdrr::FlagSet flags;
@@ -29,64 +28,64 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu synthetic Adult records, %zu attributes\n",
               data.num_rows(), data.num_attributes());
 
-  mdrr::BatchPerturbationOptions options;
-  options.seed = 1;
-  options.num_threads = 1;
-  mdrr::BatchPerturbationEngine sequential(options);
-  options.num_threads = 0;  // One worker per hardware core.
-  mdrr::BatchPerturbationEngine parallel(options);
+  // One spec: Protocol 1 + adjustment + synthetic release, sharded
+  // policy at seed 1. Only num_threads differs between the two runs --
+  // and num_threads is the one knob that never changes output.
+  mdrr::release::ReleaseSpec spec;
+  spec.mechanism.kind = mdrr::release::MechanismKind::kIndependent;
+  spec.budget.keep_probability = p;
+  spec.adjustment.enabled = true;
+  spec.synthetic.enabled = true;
+  spec.execution.kind = mdrr::release::PolicyKind::kSharded;
+  spec.execution.seed = 1;
 
-  auto one = sequential.RunIndependent(data, mdrr::RrIndependentOptions{p});
-  auto many = parallel.RunIndependent(data, mdrr::RrIndependentOptions{p});
+  auto run_with_threads = [&](size_t threads)
+      -> mdrr::StatusOr<mdrr::release::ReleaseArtifacts> {
+    spec.execution.num_threads = threads;
+    MDRR_ASSIGN_OR_RETURN(mdrr::release::ReleasePlan plan,
+                          mdrr::release::ReleasePlanner::Plan(spec, &data));
+    return plan.Run();
+  };
+
+  auto one = run_with_threads(1);
+  auto many = run_with_threads(0);  // One worker per hardware core.
   if (!one.ok() || !many.ok()) {
     std::fprintf(stderr, "release failed\n");
     return 1;
   }
+  const mdrr::release::ReleaseArtifacts& a1 = one.value();
+  const mdrr::release::ReleaseArtifacts& aN = many.value();
 
-  bool identical = one.value().estimated == many.value().estimated;
+  bool identical = a1.marginal_estimates == aN.marginal_estimates;
   for (size_t j = 0; identical && j < data.num_attributes(); ++j) {
-    identical = one.value().randomized.column(j) ==
-                many.value().randomized.column(j);
+    identical = a1.randomized.column(j) == aN.randomized.column(j);
   }
   std::printf("perturbation bit-identical:      %s\n",
               identical ? "yes" : "NO");
   if (!identical) return 1;
 
-  // Adjustment (Algorithm 2) and synthetic release through the same
-  // engine: both shard and both stay bit-identical across thread counts.
-  std::vector<mdrr::AdjustmentGroup> groups =
-      mdrr::GroupsFromIndependent(one.value());
-  auto adjust_one = sequential.RunAdjustment(groups, data.num_rows());
-  auto adjust_many = parallel.RunAdjustment(groups, data.num_rows());
-  auto synth_one = sequential.SynthesizeIndependent(
-      one.value(), static_cast<int64_t>(data.num_rows()));
-  auto synth_many = parallel.SynthesizeIndependent(
-      many.value(), static_cast<int64_t>(data.num_rows()));
-  if (!adjust_one.ok() || !adjust_many.ok() || !synth_one.ok() ||
-      !synth_many.ok()) {
-    std::fprintf(stderr, "adjustment or synthesis failed\n");
-    return 1;
-  }
   bool adjust_identical =
-      adjust_one.value().weights == adjust_many.value().weights;
+      a1.adjustment->weights == aN.adjustment->weights;
   std::printf("adjustment bit-identical:        %s (%d iterations)\n",
-              adjust_identical ? "yes" : "NO",
-              adjust_many.value().iterations);
+              adjust_identical ? "yes" : "NO", aN.adjustment->iterations);
   bool synth_identical = true;
   for (size_t j = 0; synth_identical && j < data.num_attributes(); ++j) {
-    synth_identical =
-        synth_one.value().column(j) == synth_many.value().column(j);
+    synth_identical = a1.synthetic->column(j) == aN.synthetic->column(j);
   }
   std::printf("synthetic release bit-identical: %s\n",
               synth_identical ? "yes" : "NO");
   if (!adjust_identical || !synth_identical) return 1;
 
-  const mdrr::Attribute& a = data.attribute(0);
+  const mdrr::Attribute& attribute = data.attribute(0);
   std::printf("estimated marginal of '%s' (eps_total = %.3f):\n",
-              a.name.c_str(), many.value().total_epsilon);
-  for (size_t v = 0; v < a.cardinality(); ++v) {
-    std::printf("  %-24s %.4f\n", a.categories[v].c_str(),
-                many.value().estimated[0][v]);
+              attribute.name.c_str(), aN.total_epsilon());
+  for (size_t v = 0; v < attribute.cardinality(); ++v) {
+    std::printf("  %-24s %.4f\n", attribute.categories[v].c_str(),
+                aN.marginal_estimates[0][v]);
+  }
+  for (const mdrr::release::StageTiming& timing : aN.timings) {
+    std::printf("stage %-10s %8.3fs\n", timing.stage.c_str(),
+                timing.seconds);
   }
   return 0;
 }

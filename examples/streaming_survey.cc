@@ -1,15 +1,20 @@
 // A live survey with streaming estimation: reports arrive one at a time
 // and the controller watches the Eq. (2) estimate tighten as its
-// confidence interval shrinks -- together with the disclosure-risk
-// numbers a data protection officer would want printed next to it.
+// confidence interval shrinks. When the collection window closes, the
+// final publication is NOT the ad-hoc stream state: the controller
+// freezes a declarative ReleaseSpec, runs it through ReleasePlanner, and
+// archives the spec text -- anyone can re-run the identical release from
+// that file (mdrr_cli run --spec=...).
 //
-// Build & run:  ./build/examples/streaming_survey
+// Build & run:  ./build/example_streaming_survey
 
 #include <cstdio>
 
 #include "mdrr/core/collector.h"
 #include "mdrr/core/risk.h"
 #include "mdrr/core/rr_matrix.h"
+#include "mdrr/release/planner.h"
+#include "mdrr/release/serialization.h"
 #include "mdrr/rng/rng.h"
 
 int main() {
@@ -26,10 +31,12 @@ int main() {
               "estimate (rarest category)", "+/- 95% CI");
 
   const int checkpoints[] = {200, 1000, 5000, 25000, 125000};
+  std::vector<uint32_t> truths;  // The population, accumulated.
   int produced = 0;
   for (int checkpoint : checkpoints) {
     while (produced < checkpoint) {
       uint32_t truth = static_cast<uint32_t>(rng.Discrete(true_distribution));
+      truths.push_back(truth);
       uint32_t report = matrix.Randomize(truth, rng);
       if (!collector.AddReport(report).ok()) return 1;
       ++produced;
@@ -53,5 +60,33 @@ int main() {
     std::printf("  expected attacker success (with report): %.4f\n",
                 expected.value());
   }
+
+  // Collection closed: publish the official release from a spec. The
+  // collector was the live view; the archived ReleaseSpec is the
+  // reproducible publication.
+  mdrr::Attribute frequency;
+  frequency.name = "frequency";
+  frequency.categories = {"never", "monthly", "weekly", "daily"};
+  mdrr::Dataset survey({frequency}, {truths});
+
+  mdrr::release::ReleaseSpec spec;
+  spec.mechanism.kind = mdrr::release::MechanismKind::kIndependent;
+  spec.budget.keep_probability = keep_probability;
+  spec.execution.seed = 14;
+
+  auto plan = mdrr::release::ReleasePlanner::Plan(spec, &survey);
+  if (!plan.ok()) return 1;
+  auto artifacts = plan.value().Run();
+  if (!artifacts.ok()) return 1;
+
+  std::printf("\nofficial release (from the archived ReleaseSpec):\n");
+  std::printf("  estimated rate of '%s': %.4f  (stream said %.4f)\n",
+              frequency.categories[3].c_str(),
+              artifacts.value().marginal_estimates[0][3],
+              prior.value()[3]);
+  std::printf("  release epsilon: %.3f\n",
+              artifacts.value().total_epsilon());
+  std::printf("\narchived spec:\n%s",
+              mdrr::release::PrintReleaseSpec(spec).c_str());
   return 0;
 }

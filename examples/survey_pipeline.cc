@@ -2,25 +2,26 @@
 // microdata -- the workload the paper's introduction motivates:
 //
 //   1. n individuals each hold one 8-attribute record;
-//   2. attribute dependences are assessed (here: Section 4.1, per-
-//      attribute RR) and attributes are clustered (Algorithm 1);
-//   3. each individual publishes cluster-wise randomized responses
-//      (RR-Joint per cluster at the Section 6.3.2 calibration);
-//   4. the controller estimates cluster joints with Eq. (2), repairs
-//      cross-cluster structure with RR-Adjustment (Algorithm 2), and
-//      answers count queries;
-//   5. the total privacy cost is reported by sequential composition.
+//   2. attribute dependences are assessed (Section 4.1 per-attribute
+//      RR), attributes are clustered (Algorithm 1), and each individual
+//      publishes cluster-wise randomized responses (RR-Joint per
+//      cluster at the Section 6.3.2 calibration);
+//   3. the controller repairs cross-cluster structure with
+//      RR-Adjustment (Algorithm 2) and answers count queries;
+//   4. the total privacy cost is reported by sequential composition.
 //
-// Build & run:  ./build/examples/survey_pipeline
+// All of it is one declarative ReleaseSpec: the clusters mechanism with
+// adjustment enabled, planned and executed by ReleasePlanner. The
+// artifacts carry the clustering, the adjusted weights, and the ledger.
+//
+// Build & run:  ./build/example_survey_pipeline
 
 #include <cstdio>
 
-#include "mdrr/core/adjustment.h"
 #include "mdrr/core/privacy.h"
-#include "mdrr/core/rr_clusters.h"
 #include "mdrr/dataset/adult.h"
 #include "mdrr/eval/metrics.h"
-#include "mdrr/rng/rng.h"
+#include "mdrr/release/planner.h"
 
 int main() {
   // The true microdata, held in shards of one record per individual.
@@ -28,33 +29,43 @@ int main() {
   std::printf("survey: %zu respondents x %zu attributes\n",
               survey.num_rows(), survey.num_attributes());
 
-  // Steps 2-3: dependence assessment + clustering + cluster-wise RR.
-  mdrr::RrClustersOptions options;
-  options.keep_probability = 0.7;
-  options.clustering = mdrr::ClusteringOptions{50.0, 0.1};
-  options.dependence_source = mdrr::DependenceSource::kRandomizedResponse;
-  options.dependence_keep_probability = 0.7;
+  // Steps 2-3, declaratively: dependence assessment + clustering +
+  // cluster-wise RR + Algorithm 2 adjustment under one spec.
+  mdrr::release::ReleaseSpec spec;
+  spec.mechanism.kind = mdrr::release::MechanismKind::kClusters;
+  spec.mechanism.clustering = mdrr::ClusteringOptions{50.0, 0.1};
+  spec.mechanism.dependence_source =
+      mdrr::DependenceSource::kRandomizedResponse;
+  spec.budget.keep_probability = 0.7;
+  spec.budget.dependence_keep_probability = 0.7;
+  spec.adjustment.enabled = true;
+  spec.execution.seed = 2024;
 
-  mdrr::Rng rng(2024);
-  auto protocol = mdrr::RunRrClusters(survey, options, rng);
-  if (!protocol.ok()) {
-    std::fprintf(stderr, "protocol failed: %s\n",
-                 protocol.status().ToString().c_str());
+  auto plan = mdrr::release::ReleasePlanner::Plan(spec, &survey);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
     return 1;
   }
+  auto artifacts = plan.value().Run();
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "release failed: %s\n",
+                 artifacts.status().ToString().c_str());
+    return 1;
+  }
+  const mdrr::release::ReleaseArtifacts& a = artifacts.value();
   std::printf("clusters: %s\n",
-              mdrr::ClusteringToString(survey, protocol.value().clusters)
-                  .c_str());
+              mdrr::ClusteringToString(survey, a.clustering).c_str());
 
-  // Step 4: adjusted weights over the randomized records.
-  auto adjusted = mdrr::MakeAdjustedEstimate(*protocol);
-  if (!adjusted.ok()) {
-    std::fprintf(stderr, "adjustment failed: %s\n",
-                 adjusted.status().ToString().c_str());
+  // The artifacts' best estimator (adjusted weights, since adjustment
+  // ran) answers analyst queries.
+  auto estimate = mdrr::release::MakeJointEstimate(a);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "estimator failed: %s\n",
+                 estimate.status().ToString().c_str());
     return 1;
   }
 
-  // Answer a few analyst queries and compare with the (secret) truth.
   struct NamedQuery {
     const char* description;
     mdrr::CountQuery query;
@@ -78,17 +89,15 @@ int main() {
               "rel err");
   for (const NamedQuery& nq : queries) {
     double t = truth.EstimateCount(nq.query);
-    double e = adjusted.value().EstimateCount(nq.query);
+    double e = estimate.value()->EstimateCount(nq.query);
     std::printf("%-24s %10.0f %12.1f %10.4f\n", nq.description, t, e,
                 mdrr::eval::RelativeError(e, t));
   }
 
-  // Step 5: privacy ledger.
+  // Step 4: privacy ledger, straight from the artifacts.
   mdrr::PrivacyAccountant accountant;
-  accountant.Spend("dependence assessment (Sec 4.1)",
-                   protocol.value().dependence_epsilon);
-  accountant.Spend("cluster-wise RR release",
-                   protocol.value().release_epsilon);
+  accountant.Spend("dependence assessment (Sec 4.1)", a.dependence_epsilon);
+  accountant.Spend("cluster-wise RR release", a.release_epsilon);
   std::printf("\nprivacy ledger:\n%s", accountant.Report().c_str());
   std::printf(
       "note: RR-Adjustment post-processes the randomized data only, so it\n"

@@ -1,61 +1,55 @@
 // Synthetic microdata release: the paper's introduction promises that RR
 // can "re-create a synthetic estimate of the original data set by
 // repeating each combination of attribute values as many times as
-// dictated by its frequency in the estimated joint distribution". This
-// example runs RR-Clusters, synthesizes a full microdata set from the
-// estimates, writes it to CSV, and reports its statistical fidelity.
+// dictated by its frequency in the estimated joint distribution". One
+// ReleaseSpec declares the whole product -- RR-Clusters, a synthetic
+// data set of the original size, a utility report, and the CSV output
+// path -- and ReleasePlanner runs it.
 //
-// Build & run:  ./build/examples/synthetic_release [output.csv]
+// Build & run:  ./build/example_synthetic_release [output.csv]
 
 #include <cstdio>
 
 #include "mdrr/core/dependence.h"
-#include "mdrr/core/estimator.h"
-#include "mdrr/core/rr_clusters.h"
-#include "mdrr/core/synthetic.h"
 #include "mdrr/dataset/adult.h"
-#include "mdrr/dataset/csv.h"
-#include "mdrr/rng/rng.h"
+#include "mdrr/release/planner.h"
 
 int main(int argc, char** argv) {
   const char* output_path = argc > 1 ? argv[1] : "synthetic_adult.csv";
 
   mdrr::Dataset original = mdrr::SynthesizeAdult(32561, 77);
 
-  mdrr::RrClustersOptions options;
-  options.keep_probability = 0.8;
-  options.clustering = mdrr::ClusteringOptions{100.0, 0.1};
-  mdrr::Rng rng(5);
-  auto protocol = mdrr::RunRrClusters(original, options, rng);
-  if (!protocol.ok()) {
-    std::fprintf(stderr, "protocol failed: %s\n",
-                 protocol.status().ToString().c_str());
+  mdrr::release::ReleaseSpec spec;
+  spec.mechanism.kind = mdrr::release::MechanismKind::kClusters;
+  spec.mechanism.clustering = mdrr::ClusteringOptions{100.0, 0.1};
+  spec.mechanism.dependence_source = mdrr::DependenceSource::kOracle;
+  spec.budget.keep_probability = 0.8;
+  spec.synthetic.enabled = true;  // records = 0 -> match the input size.
+  spec.evaluation.utility_report = true;
+  spec.execution.seed = 5;
+  spec.output.synthetic_csv = output_path;
+
+  auto plan = mdrr::release::ReleasePlanner::Plan(spec, &original);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
     return 1;
   }
-
-  mdrr::Rng synth_rng(9);
-  auto synthetic = mdrr::SynthesizeFromClusters(
-      *protocol, static_cast<int64_t>(original.num_rows()), synth_rng);
-  if (!synthetic.ok()) {
-    std::fprintf(stderr, "synthesis failed: %s\n",
-                 synthetic.status().ToString().c_str());
+  auto artifacts = plan.value().Run();
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "release failed: %s\n",
+                 artifacts.status().ToString().c_str());
     return 1;
   }
+  const mdrr::release::ReleaseArtifacts& a = artifacts.value();
+  const mdrr::Dataset& synthetic = *a.synthetic;
 
-  // Fidelity report 1: marginal distributions.
-  std::printf("marginal fidelity (max |synthetic - true| per attribute):\n");
+  // Fidelity report 1: the utility report's per-attribute marginal
+  // total-variation distances.
+  std::printf("marginal fidelity (TV distance per attribute):\n");
   for (size_t j = 0; j < original.num_attributes(); ++j) {
-    std::vector<double> truth = mdrr::EmpiricalDistribution(
-        original.column(j), original.attribute(j).cardinality());
-    std::vector<double> synth = mdrr::EmpiricalDistribution(
-        synthetic.value().column(j),
-        synthetic.value().attribute(j).cardinality());
-    double max_gap = 0.0;
-    for (size_t v = 0; v < truth.size(); ++v) {
-      max_gap = std::max(max_gap, std::fabs(truth[v] - synth[v]));
-    }
     std::printf("  %-16s %.4f\n", original.attribute(j).name.c_str(),
-                max_gap);
+                a.utility->marginal_tv[j]);
   }
 
   // Fidelity report 2: pairwise dependences (within vs across clusters).
@@ -64,28 +58,19 @@ int main(int argc, char** argv) {
               "Relationship <-> Sex",
               mdrr::DependenceBetween(original, mdrr::kAdultRelationship,
                                       mdrr::kAdultSex),
-              mdrr::DependenceBetween(synthetic.value(),
-                                      mdrr::kAdultRelationship,
+              mdrr::DependenceBetween(synthetic, mdrr::kAdultRelationship,
                                       mdrr::kAdultSex));
   std::printf("  %-34s %6.3f -> %6.3f   (across clusters: forced indep.)\n",
               "Education <-> Occupation",
               mdrr::DependenceBetween(original, mdrr::kAdultEducation,
                                       mdrr::kAdultOccupation),
-              mdrr::DependenceBetween(synthetic.value(),
-                                      mdrr::kAdultEducation,
+              mdrr::DependenceBetween(synthetic, mdrr::kAdultEducation,
                                       mdrr::kAdultOccupation));
 
-  mdrr::Status write_status = mdrr::WriteCsv(synthetic.value(), output_path);
-  if (!write_status.ok()) {
-    std::fprintf(stderr, "CSV write failed: %s\n",
-                 write_status.ToString().c_str());
-    return 1;
-  }
-  std::printf("\nwrote %zu synthetic records to %s\n",
-              synthetic.value().num_rows(), output_path);
+  std::printf("\nwrote %zu synthetic records to %s\n", synthetic.num_rows(),
+              output_path);
   std::printf("clusters used: %s\n",
-              mdrr::ClusteringToString(original, protocol.value().clusters)
-                  .c_str());
-  std::printf("release epsilon: %.3f\n", protocol.value().release_epsilon);
+              mdrr::ClusteringToString(original, a.clustering).c_str());
+  std::printf("release epsilon: %.3f\n", a.release_epsilon);
   return 0;
 }

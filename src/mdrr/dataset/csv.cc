@@ -85,6 +85,25 @@ StatusOr<Dataset> DatasetFromRowsWithSchema(
   return Dataset(schema, std::move(columns));
 }
 
+StatusOr<Dataset> ReadCsvDataset(const std::string& path, bool has_header,
+                                 char delimiter) {
+  MDRR_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                        ReadCsvRows(path, delimiter));
+  if (rows.empty()) {
+    return Status::InvalidArgument("input file '" + path + "' is empty");
+  }
+  std::vector<std::string> names;
+  if (has_header) {
+    names = rows.front();
+    rows.erase(rows.begin());
+  } else {
+    for (size_t j = 0; j < rows[0].size(); ++j) {
+      names.push_back("column" + std::to_string(j));
+    }
+  }
+  return DatasetFromRows(rows, names);
+}
+
 Status WriteCsv(const Dataset& dataset, const std::string& path,
                 char delimiter) {
   std::ofstream file(path);

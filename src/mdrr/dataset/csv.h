@@ -34,6 +34,14 @@ StatusOr<Dataset> DatasetFromRowsWithSchema(
     const std::vector<Attribute>& schema,
     const std::vector<size_t>& column_indices);
 
+// One-call CSV -> Dataset binding: reads `path`, takes attribute names
+// from the header line when `has_header` (otherwise synthesizes
+// "column0", "column1", ...), and infers one nominal attribute per
+// column. Fails on I/O errors and on an empty file. The shared front
+// door of the CLI and the release planner's csv dataset source.
+StatusOr<Dataset> ReadCsvDataset(const std::string& path, bool has_header,
+                                 char delimiter = ',');
+
 // Writes `dataset` as CSV with a header line of attribute names.
 Status WriteCsv(const Dataset& dataset, const std::string& path,
                 char delimiter = ',');

@@ -5,10 +5,7 @@
 
 #include "mdrr/common/check.h"
 #include "mdrr/common/parallel.h"
-#include "mdrr/core/dependence.h"
-#include "mdrr/core/estimator.h"
-#include "mdrr/core/privacy.h"
-#include "mdrr/stats/frequency.h"
+#include "mdrr/release/planner.h"
 
 namespace mdrr::protocol {
 
@@ -54,6 +51,17 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
   const size_t shard_size = std::max<size_t>(1, options.shard_size);
   const size_t threads = options.num_threads;
 
+  // The controller's stage work (dependence assessment, Algorithm 1,
+  // Eq. (2) estimation, decode) goes through the release layer's
+  // controller plan under one execution policy; the sharded primitives
+  // it routes to are bit-identical for any thread count.
+  MDRR_ASSIGN_OR_RETURN(
+      release::ControllerPlan controller,
+      release::ReleasePlanner::PlanController(
+          options.clustering,
+          release::ExecutionPolicy{release::PolicyKind::kSharded,
+                                   options.seed, threads, shard_size}));
+
   // Instantiate the parties. Seeds are drawn serially (the seed sequence
   // is part of the session transcript); after that each party's
   // randomness is self-contained, so publications shard freely with
@@ -97,15 +105,8 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
   // Controller: dependences on the randomized data (pair grid and
   // contingency accumulation sharded), then Algorithm 1, then one
   // clustering broadcast to every party.
-  DependenceShardingOptions dependence_sharding;
-  dependence_sharding.num_threads = threads;
-  dependence_sharding.record_chunk_size = shard_size;
-  linalg::Matrix dependences = DependenceMatrixSharded(
-      round1_data, DependenceMeasure::kPaperAuto, dependence_sharding);
-  MDRR_ASSIGN_OR_RETURN(
-      result.clusters,
-      ClusterAttributes(dataset.Cardinalities(), dependences,
-                        options.clustering));
+  MDRR_ASSIGN_OR_RETURN(result.clusters,
+                        controller.AssessAndCluster(round1_data));
   result.messages_broadcast = n;
 
   // --- Round 2: cluster-wise publication (Section 6.3.2 calibration),
@@ -143,28 +144,18 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
   result.randomized = dataset;
   for (size_t c = 0; c < num_clusters; ++c) {
     const Domain& domain = result.cluster_domains[c];
-    stats::FrequencyTable counts = stats::ShardedHistogram(
-        n, static_cast<size_t>(domain.size()), shard_size, threads,
-        [&](size_t i) { return cluster_codes[c][i]; });
     MDRR_ASSIGN_OR_RETURN(
         std::vector<double> estimated,
-        EstimateProjectedDistribution(cluster_matrices[c],
-                                      counts.Proportions()));
+        controller.EstimateDistribution(cluster_matrices[c],
+                                        cluster_codes[c],
+                                        static_cast<size_t>(domain.size())));
     result.cluster_joints.push_back(std::move(estimated));
 
     for (size_t position = 0; position < result.clusters[c].size();
          ++position) {
-      std::vector<uint32_t> column(n);
-      ParallelChunks(n, shard_size, threads,
-                     [&](size_t /*worker*/, size_t /*shard*/, size_t begin,
-                         size_t end) {
-                       for (size_t i = begin; i < end; ++i) {
-                         column[i] =
-                             domain.DecodeAt(cluster_codes[c][i], position);
-                       }
-                     });
-      result.randomized.SetColumn(result.clusters[c][position],
-                                  std::move(column));
+      result.randomized.SetColumn(
+          result.clusters[c][position],
+          controller.DecodeColumn(domain, cluster_codes[c], position));
     }
   }
   return result;

@@ -1,0 +1,51 @@
+#include "mdrr/release/artifacts.h"
+
+#include <utility>
+
+#include "mdrr/core/rr_clusters.h"
+
+namespace mdrr::release {
+
+StatusOr<std::unique_ptr<JointEstimate>> MakeJointEstimate(
+    const ReleaseArtifacts& artifacts) {
+  const double n = artifacts.num_records;
+  if (artifacts.adjustment.has_value()) {
+    return std::unique_ptr<JointEstimate>(std::make_unique<
+                                          WeightedRecordsEstimate>(
+        artifacts.randomized, artifacts.adjustment->weights));
+  }
+  if (artifacts.clusters.has_value()) {
+    // Not MakeClusterEstimate: the payload's dataset was moved into
+    // artifacts.randomized, so the record count comes from num_records.
+    std::vector<Domain> domains;
+    std::vector<std::vector<double>> joints;
+    domains.reserve(artifacts.clusters->cluster_results.size());
+    joints.reserve(artifacts.clusters->cluster_results.size());
+    for (const RrJointResult& joint : artifacts.clusters->cluster_results) {
+      domains.push_back(joint.domain);
+      joints.push_back(joint.estimated);
+    }
+    return std::unique_ptr<JointEstimate>(
+        std::make_unique<ClusterFactorizationEstimate>(
+            artifacts.clusters->clusters, std::move(domains),
+            std::move(joints), n));
+  }
+  if (artifacts.joint.has_value()) {
+    // One cluster holding the whole joint; queries keep using original
+    // schema indices, matching RrJointResult::attributes.
+    return std::unique_ptr<JointEstimate>(
+        std::make_unique<ClusterFactorizationEstimate>(
+            AttributeClustering{artifacts.joint->attributes},
+            std::vector<Domain>{artifacts.joint->domain},
+            std::vector<std::vector<double>>{artifacts.joint->estimated}, n));
+  }
+  if (artifacts.independent.has_value() || artifacts.pram.has_value()) {
+    return std::unique_ptr<JointEstimate>(
+        std::make_unique<IndependentMarginalsEstimate>(
+            artifacts.marginal_estimates, n));
+  }
+  return Status::FailedPrecondition(
+      "these artifacts carry no mechanism payload (parsed summary?)");
+}
+
+}  // namespace mdrr::release

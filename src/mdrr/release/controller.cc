@@ -1,0 +1,60 @@
+#include "mdrr/release/controller.h"
+
+#include <algorithm>
+
+#include "mdrr/common/parallel.h"
+#include "mdrr/core/estimator.h"
+#include "mdrr/stats/frequency.h"
+
+namespace mdrr::release {
+
+ControllerPlan::ControllerPlan(ClusteringOptions clustering,
+                               DependenceMeasure measure,
+                               ExecutionPolicy policy)
+    : clustering_(clustering), measure_(measure), policy_(policy) {
+  policy_.shard_size = std::max<size_t>(1, policy_.shard_size);
+}
+
+size_t ControllerPlan::Threads() const {
+  return policy_.kind == PolicyKind::kSequential ? 1 : policy_.num_threads;
+}
+
+StatusOr<AttributeClustering> ControllerPlan::AssessAndCluster(
+    const Dataset& published, linalg::Matrix* dependences_out) const {
+  if (published.num_rows() == 0) {
+    return Status::InvalidArgument("cannot assess dependences on empty data");
+  }
+  DependenceShardingOptions sharding;
+  sharding.num_threads = Threads();
+  sharding.record_chunk_size = policy_.shard_size;
+  linalg::Matrix dependences =
+      DependenceMatrixSharded(published, measure_, sharding);
+  if (dependences_out != nullptr) *dependences_out = dependences;
+  return ClusterAttributes(published.Cardinalities(), dependences,
+                           clustering_);
+}
+
+StatusOr<std::vector<double>> ControllerPlan::EstimateDistribution(
+    const RrMatrix& matrix, const std::vector<uint32_t>& codes,
+    size_t num_categories) const {
+  stats::FrequencyTable counts = stats::ShardedHistogram(
+      codes.size(), num_categories, policy_.shard_size, Threads(),
+      [&codes](size_t i) { return codes[i]; });
+  return EstimateProjectedDistribution(matrix, counts.Proportions());
+}
+
+std::vector<uint32_t> ControllerPlan::DecodeColumn(
+    const Domain& domain, const std::vector<uint32_t>& codes,
+    size_t position) const {
+  std::vector<uint32_t> column(codes.size());
+  ParallelChunks(codes.size(), policy_.shard_size, Threads(),
+                 [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                     size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     column[i] = domain.DecodeAt(codes[i], position);
+                   }
+                 });
+  return column;
+}
+
+}  // namespace mdrr::release

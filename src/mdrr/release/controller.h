@@ -1,0 +1,68 @@
+// Controller-side stage bundle for protocols whose perturbation happens
+// remotely (the party-level session of protocol/): the parties randomize
+// their own records, so the controller needs exactly the assessment /
+// clustering / estimation / decode stages -- under the same
+// ExecutionPolicy as a full in-process release. ReleasePlanner lowers a
+// policy into a ControllerPlan (planner.h); protocol/session.cc is the
+// consumer.
+//
+// Every operation routes through the sharded stage primitives
+// (DependenceMatrixSharded, stats::ShardedHistogram, ParallelChunks), so
+// results are bit-identical for any thread count; kSequential simply
+// pins one worker.
+
+#ifndef MDRR_RELEASE_CONTROLLER_H_
+#define MDRR_RELEASE_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/clustering.h"
+#include "mdrr/core/dependence.h"
+#include "mdrr/core/rr_matrix.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/dataset/domain.h"
+#include "mdrr/release/spec.h"
+
+namespace mdrr::release {
+
+class ControllerPlan {
+ public:
+  // Use ReleasePlanner::PlanController to obtain a validated plan.
+  ControllerPlan(ClusteringOptions clustering, DependenceMeasure measure,
+                 ExecutionPolicy policy);
+
+  // Corollary 1 dependences on the published (randomized) data followed
+  // by Algorithm 1. `dependences_out`, when non-null, receives the
+  // assessed matrix.
+  StatusOr<AttributeClustering> AssessAndCluster(
+      const Dataset& published,
+      linalg::Matrix* dependences_out = nullptr) const;
+
+  // Eq. (2) projected estimate from published composite codes: sharded
+  // counting, then estimation against the public matrix. Every code must
+  // be < num_categories == matrix.size().
+  StatusOr<std::vector<double>> EstimateDistribution(
+      const RrMatrix& matrix, const std::vector<uint32_t>& codes,
+      size_t num_categories) const;
+
+  // Decodes one position of published composite codes into an attribute
+  // column (deterministic at any thread count).
+  std::vector<uint32_t> DecodeColumn(const Domain& domain,
+                                     const std::vector<uint32_t>& codes,
+                                     size_t position) const;
+
+  const ExecutionPolicy& policy() const { return policy_; }
+
+ private:
+  size_t Threads() const;
+
+  ClusteringOptions clustering_;
+  DependenceMeasure measure_;
+  ExecutionPolicy policy_;
+};
+
+}  // namespace mdrr::release
+
+#endif  // MDRR_RELEASE_CONTROLLER_H_

@@ -1,0 +1,599 @@
+#include "mdrr/release/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mdrr/common/string_util.h"
+
+namespace mdrr::release {
+
+namespace {
+
+constexpr char kSpecHeader[] = "mdrr-release-spec v1";
+constexpr char kArtifactsHeader[] = "mdrr-release-artifacts v1";
+
+void AppendDouble(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void AppendLine(std::string& out, const std::string& key, double value) {
+  out += key;
+  out += ' ';
+  AppendDouble(out, value);
+  out += '\n';
+}
+
+void AppendLine(std::string& out, const std::string& key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += key;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+// Signed fields (a malformed in-memory spec may hold negatives; they
+// must still round-trip so validation can reject them after a re-read).
+void AppendSigned(std::string& out, const std::string& key, int64_t value) {
+  out += key;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void AppendLine(std::string& out, const std::string& key, bool value) {
+  out += key;
+  out += value ? " 1\n" : " 0\n";
+}
+
+void AppendLine(std::string& out, const std::string& key,
+                const std::string& value) {
+  out += key;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void AppendIndexList(std::string& out, const std::string& key,
+                     const std::vector<size_t>& values) {
+  out += key;
+  for (size_t v : values) {
+    out += ' ';
+    out += std::to_string(v);
+  }
+  out += '\n';
+}
+
+void AppendDoubleList(std::string& out, const std::string& key,
+                      const std::vector<double>& values) {
+  out += key;
+  for (double v : values) {
+    out += ' ';
+    AppendDouble(out, v);
+  }
+  out += '\n';
+}
+
+// One stripped, non-comment input line split into a key and value
+// tokens.
+struct SpecLine {
+  std::string key;
+  std::vector<std::string> tokens;  // Whitespace-separated values.
+  std::string rest;                 // Raw remainder (for paths).
+};
+
+std::vector<SpecLine> TokenizeLines(const std::string& text) {
+  std::vector<SpecLine> lines;
+  for (std::string_view raw : Split(text, '\n')) {
+    std::string_view stripped = StripWhitespace(raw);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    SpecLine line;
+    size_t space = stripped.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      line.key = std::string(stripped);
+    } else {
+      line.key = std::string(stripped.substr(0, space));
+      line.rest = std::string(StripWhitespace(stripped.substr(space + 1)));
+      std::istringstream stream(line.rest);
+      std::string token;
+      while (stream >> token) line.tokens.push_back(token);
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+StatusOr<bool> ParseBool(const SpecLine& line) {
+  if (line.tokens.size() == 1) {
+    if (line.tokens[0] == "1" || line.tokens[0] == "true") return true;
+    if (line.tokens[0] == "0" || line.tokens[0] == "false") return false;
+  }
+  return Status::InvalidArgument("expected 0/1 after '" + line.key + "'");
+}
+
+StatusOr<double> ParseOneDouble(const SpecLine& line) {
+  if (line.tokens.size() != 1) {
+    return Status::InvalidArgument("expected one number after '" + line.key +
+                                   "'");
+  }
+  return ParseDouble(line.tokens[0]);
+}
+
+StatusOr<uint64_t> ParseOneUint(const SpecLine& line) {
+  if (line.tokens.size() != 1) {
+    return Status::InvalidArgument("expected one integer after '" + line.key +
+                                   "'");
+  }
+  MDRR_ASSIGN_OR_RETURN(int64_t value, ParseInt64(line.tokens[0]));
+  if (value < 0) {
+    return Status::InvalidArgument("'" + line.key + "' must be >= 0");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<int64_t> ParseOneInt(const SpecLine& line) {
+  if (line.tokens.size() != 1) {
+    return Status::InvalidArgument("expected one integer after '" + line.key +
+                                   "'");
+  }
+  return ParseInt64(line.tokens[0]);
+}
+
+StatusOr<std::vector<size_t>> ParseIndexList(const SpecLine& line) {
+  std::vector<size_t> values;
+  values.reserve(line.tokens.size());
+  for (const std::string& token : line.tokens) {
+    MDRR_ASSIGN_OR_RETURN(int64_t value, ParseInt64(token));
+    if (value < 0) {
+      return Status::InvalidArgument("negative index after '" + line.key +
+                                     "'");
+    }
+    values.push_back(static_cast<size_t>(value));
+  }
+  return values;
+}
+
+StatusOr<std::vector<double>> ParseDoubleList(const SpecLine& line) {
+  std::vector<double> values;
+  values.reserve(line.tokens.size());
+  for (const std::string& token : line.tokens) {
+    MDRR_ASSIGN_OR_RETURN(double value, ParseDouble(token));
+    values.push_back(value);
+  }
+  return values;
+}
+
+StatusOr<std::string> ParseOneToken(const SpecLine& line) {
+  if (line.tokens.size() != 1) {
+    return Status::InvalidArgument("expected one token after '" + line.key +
+                                   "'");
+  }
+  return line.tokens[0];
+}
+
+Status WriteText(const std::string& text, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  file << text;
+  if (!file.good()) {
+    return Status::IoError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadText(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReleaseSpec.
+// ---------------------------------------------------------------------------
+
+std::string PrintReleaseSpec(const ReleaseSpec& spec) {
+  std::string out;
+  out += kSpecHeader;
+  out += '\n';
+
+  AppendLine(out, "dataset.source", std::string(ToString(spec.dataset.source)));
+  if (!spec.dataset.csv_path.empty()) {
+    AppendLine(out, "dataset.csv_path", spec.dataset.csv_path);
+  }
+  AppendLine(out, "dataset.csv_has_header", spec.dataset.csv_has_header);
+  AppendLine(out, "dataset.synthetic_records",
+             static_cast<uint64_t>(spec.dataset.synthetic_records));
+  AppendLine(out, "dataset.synthetic_seed", spec.dataset.synthetic_seed);
+
+  AppendLine(out, "budget.keep_probability", spec.budget.keep_probability);
+  AppendLine(out, "budget.dependence_keep_probability",
+             spec.budget.dependence_keep_probability);
+  AppendLine(out, "budget.max_total_epsilon", spec.budget.max_total_epsilon);
+
+  AppendLine(out, "mechanism.kind", std::string(ToString(spec.mechanism.kind)));
+  AppendIndexList(out, "mechanism.joint_attributes",
+                  spec.mechanism.joint_attributes);
+  AppendLine(out, "mechanism.clustering.max_combinations",
+             spec.mechanism.clustering.max_combinations);
+  AppendLine(out, "mechanism.clustering.min_dependence",
+             spec.mechanism.clustering.min_dependence);
+  AppendLine(out, "mechanism.dependence_source",
+             std::string(ToString(spec.mechanism.dependence_source)));
+  AppendLine(out, "mechanism.use_paper_epsilon_formula",
+             spec.mechanism.use_paper_epsilon_formula);
+
+  AppendLine(out, "adjustment.enabled", spec.adjustment.enabled);
+  AppendSigned(out, "adjustment.max_iterations",
+               spec.adjustment.max_iterations);
+  AppendLine(out, "adjustment.tolerance", spec.adjustment.tolerance);
+  for (const std::vector<size_t>& group : spec.adjustment.groups) {
+    AppendIndexList(out, "adjustment.group", group);
+  }
+
+  AppendLine(out, "synthetic.enabled", spec.synthetic.enabled);
+  AppendSigned(out, "synthetic.records", spec.synthetic.records);
+
+  AppendLine(out, "evaluation.utility_report", spec.evaluation.utility_report);
+  AppendDoubleList(out, "evaluation.sigmas", spec.evaluation.sigmas);
+  AppendSigned(out, "evaluation.queries_per_sigma",
+               spec.evaluation.queries_per_sigma);
+  AppendLine(out, "evaluation.seed", spec.evaluation.seed);
+
+  AppendLine(out, "execution.policy",
+             std::string(ToString(spec.execution.kind)));
+  AppendLine(out, "execution.seed", spec.execution.seed);
+  AppendLine(out, "execution.num_threads",
+             static_cast<uint64_t>(spec.execution.num_threads));
+  AppendLine(out, "execution.shard_size",
+             static_cast<uint64_t>(spec.execution.shard_size));
+
+  if (!spec.output.randomized_csv.empty()) {
+    AppendLine(out, "output.randomized_csv", spec.output.randomized_csv);
+  }
+  if (!spec.output.synthetic_csv.empty()) {
+    AppendLine(out, "output.synthetic_csv", spec.output.synthetic_csv);
+  }
+  if (!spec.output.artifacts_path.empty()) {
+    AppendLine(out, "output.artifacts", spec.output.artifacts_path);
+  }
+  return out;
+}
+
+StatusOr<ReleaseSpec> ParseReleaseSpec(const std::string& text) {
+  std::vector<SpecLine> lines = TokenizeLines(text);
+  if (lines.empty() || lines.front().key + (lines.front().rest.empty()
+                                                ? ""
+                                                : " " + lines.front().rest) !=
+                           kSpecHeader) {
+    return Status::InvalidArgument(std::string("expected header '") +
+                                   kSpecHeader + "'");
+  }
+
+  ReleaseSpec spec;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const SpecLine& line = lines[i];
+    const std::string& key = line.key;
+    if (key == "dataset.source") {
+      MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
+      MDRR_ASSIGN_OR_RETURN(spec.dataset.source,
+                            DatasetSourceFromString(token));
+    } else if (key == "dataset.csv_path") {
+      spec.dataset.csv_path = line.rest;
+    } else if (key == "dataset.csv_has_header") {
+      MDRR_ASSIGN_OR_RETURN(spec.dataset.csv_has_header, ParseBool(line));
+    } else if (key == "dataset.synthetic_records") {
+      MDRR_ASSIGN_OR_RETURN(uint64_t value, ParseOneUint(line));
+      spec.dataset.synthetic_records = static_cast<size_t>(value);
+    } else if (key == "dataset.synthetic_seed") {
+      MDRR_ASSIGN_OR_RETURN(spec.dataset.synthetic_seed, ParseOneUint(line));
+    } else if (key == "budget.keep_probability") {
+      MDRR_ASSIGN_OR_RETURN(spec.budget.keep_probability,
+                            ParseOneDouble(line));
+    } else if (key == "budget.dependence_keep_probability") {
+      MDRR_ASSIGN_OR_RETURN(spec.budget.dependence_keep_probability,
+                            ParseOneDouble(line));
+    } else if (key == "budget.max_total_epsilon") {
+      MDRR_ASSIGN_OR_RETURN(spec.budget.max_total_epsilon,
+                            ParseOneDouble(line));
+    } else if (key == "mechanism.kind") {
+      MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
+      MDRR_ASSIGN_OR_RETURN(spec.mechanism.kind,
+                            MechanismKindFromString(token));
+    } else if (key == "mechanism.joint_attributes") {
+      MDRR_ASSIGN_OR_RETURN(spec.mechanism.joint_attributes,
+                            ParseIndexList(line));
+    } else if (key == "mechanism.clustering.max_combinations") {
+      MDRR_ASSIGN_OR_RETURN(spec.mechanism.clustering.max_combinations,
+                            ParseOneDouble(line));
+    } else if (key == "mechanism.clustering.min_dependence") {
+      MDRR_ASSIGN_OR_RETURN(spec.mechanism.clustering.min_dependence,
+                            ParseOneDouble(line));
+    } else if (key == "mechanism.dependence_source") {
+      MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
+      MDRR_ASSIGN_OR_RETURN(spec.mechanism.dependence_source,
+                            DependenceSourceFromString(token));
+    } else if (key == "mechanism.use_paper_epsilon_formula") {
+      MDRR_ASSIGN_OR_RETURN(spec.mechanism.use_paper_epsilon_formula,
+                            ParseBool(line));
+    } else if (key == "adjustment.enabled") {
+      MDRR_ASSIGN_OR_RETURN(spec.adjustment.enabled, ParseBool(line));
+    } else if (key == "adjustment.max_iterations") {
+      MDRR_ASSIGN_OR_RETURN(int64_t value, ParseOneInt(line));
+      spec.adjustment.max_iterations = static_cast<int>(value);
+    } else if (key == "adjustment.tolerance") {
+      MDRR_ASSIGN_OR_RETURN(spec.adjustment.tolerance, ParseOneDouble(line));
+    } else if (key == "adjustment.group") {
+      MDRR_ASSIGN_OR_RETURN(std::vector<size_t> group, ParseIndexList(line));
+      spec.adjustment.groups.push_back(std::move(group));
+    } else if (key == "synthetic.enabled") {
+      MDRR_ASSIGN_OR_RETURN(spec.synthetic.enabled, ParseBool(line));
+    } else if (key == "synthetic.records") {
+      MDRR_ASSIGN_OR_RETURN(spec.synthetic.records, ParseOneInt(line));
+    } else if (key == "evaluation.utility_report") {
+      MDRR_ASSIGN_OR_RETURN(spec.evaluation.utility_report, ParseBool(line));
+    } else if (key == "evaluation.sigmas") {
+      MDRR_ASSIGN_OR_RETURN(spec.evaluation.sigmas, ParseDoubleList(line));
+    } else if (key == "evaluation.queries_per_sigma") {
+      MDRR_ASSIGN_OR_RETURN(int64_t value, ParseOneInt(line));
+      spec.evaluation.queries_per_sigma = static_cast<int>(value);
+    } else if (key == "evaluation.seed") {
+      MDRR_ASSIGN_OR_RETURN(spec.evaluation.seed, ParseOneUint(line));
+    } else if (key == "execution.policy") {
+      MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
+      MDRR_ASSIGN_OR_RETURN(spec.execution.kind, PolicyKindFromString(token));
+    } else if (key == "execution.seed") {
+      MDRR_ASSIGN_OR_RETURN(spec.execution.seed, ParseOneUint(line));
+    } else if (key == "execution.num_threads") {
+      MDRR_ASSIGN_OR_RETURN(uint64_t value, ParseOneUint(line));
+      spec.execution.num_threads = static_cast<size_t>(value);
+    } else if (key == "execution.shard_size") {
+      MDRR_ASSIGN_OR_RETURN(uint64_t value, ParseOneUint(line));
+      spec.execution.shard_size = static_cast<size_t>(value);
+    } else if (key == "output.randomized_csv") {
+      spec.output.randomized_csv = line.rest;
+    } else if (key == "output.synthetic_csv") {
+      spec.output.synthetic_csv = line.rest;
+    } else if (key == "output.artifacts") {
+      spec.output.artifacts_path = line.rest;
+    } else {
+      return Status::InvalidArgument("unknown spec key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+Status WriteReleaseSpec(const ReleaseSpec& spec, const std::string& path) {
+  return WriteText(PrintReleaseSpec(spec), path);
+}
+
+StatusOr<ReleaseSpec> ReadReleaseSpec(const std::string& path) {
+  MDRR_ASSIGN_OR_RETURN(std::string text, ReadText(path));
+  return ParseReleaseSpec(text);
+}
+
+// ---------------------------------------------------------------------------
+// ReleaseArtifacts (summary only; datasets go to CSV side files).
+// ---------------------------------------------------------------------------
+
+std::string PrintReleaseArtifacts(const ReleaseArtifacts& artifacts) {
+  std::string out;
+  out += kArtifactsHeader;
+  out += '\n';
+  AppendLine(out, "records", artifacts.num_records);
+  AppendLine(out, "release_epsilon", artifacts.release_epsilon);
+  AppendLine(out, "dependence_epsilon", artifacts.dependence_epsilon);
+
+  AppendLine(out, "marginals",
+             static_cast<uint64_t>(artifacts.marginal_estimates.size()));
+  for (const std::vector<double>& marginal : artifacts.marginal_estimates) {
+    out += "marginal ";
+    out += std::to_string(marginal.size());
+    for (double p : marginal) {
+      out += ' ';
+      AppendDouble(out, p);
+    }
+    out += '\n';
+  }
+
+  AppendLine(out, "clusters",
+             static_cast<uint64_t>(artifacts.clustering.size()));
+  for (const std::vector<size_t>& cluster : artifacts.clustering) {
+    AppendIndexList(out, "cluster", cluster);
+  }
+
+  AppendLine(out, "dependences",
+             static_cast<uint64_t>(artifacts.dependences.rows()));
+  for (size_t i = 0; i < artifacts.dependences.rows(); ++i) {
+    out += "deprow";
+    for (size_t j = 0; j < artifacts.dependences.cols(); ++j) {
+      out += ' ';
+      AppendDouble(out, artifacts.dependences(i, j));
+    }
+    out += '\n';
+  }
+
+  if (artifacts.adjustment.has_value()) {
+    out += "adjustment ";
+    out += std::to_string(artifacts.adjustment->iterations);
+    out += artifacts.adjustment->converged ? " 1 " : " 0 ";
+    AppendDouble(out, artifacts.adjustment->max_marginal_gap);
+    out += '\n';
+    AppendDoubleList(out, "weights", artifacts.adjustment->weights);
+  }
+
+  if (artifacts.utility.has_value()) {
+    AppendDoubleList(out, "utility.marginal_tv",
+                     artifacts.utility->marginal_tv);
+    AppendDoubleList(out, "utility.median_relative_error",
+                     artifacts.utility->median_relative_error);
+    AppendLine(out, "utility.max_dependence_shift",
+               artifacts.utility->max_dependence_shift);
+  }
+
+  for (const StageTiming& timing : artifacts.timings) {
+    out += "timing ";
+    out += timing.stage;
+    out += ' ';
+    AppendDouble(out, timing.seconds);
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<ReleaseArtifacts> ParseReleaseArtifacts(const std::string& text) {
+  std::vector<SpecLine> lines = TokenizeLines(text);
+  if (lines.empty() || lines.front().key + (lines.front().rest.empty()
+                                                ? ""
+                                                : " " + lines.front().rest) !=
+                           kArtifactsHeader) {
+    return Status::InvalidArgument(std::string("expected header '") +
+                                   kArtifactsHeader + "'");
+  }
+
+  ReleaseArtifacts artifacts;
+  uint64_t declared_marginals = 0;
+  uint64_t declared_clusters = 0;
+  uint64_t declared_dependence_rows = 0;
+  std::vector<std::vector<double>> dependence_rows;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const SpecLine& line = lines[i];
+    const std::string& key = line.key;
+    if (key == "records") {
+      MDRR_ASSIGN_OR_RETURN(artifacts.num_records, ParseOneDouble(line));
+    } else if (key == "release_epsilon") {
+      MDRR_ASSIGN_OR_RETURN(artifacts.release_epsilon, ParseOneDouble(line));
+    } else if (key == "dependence_epsilon") {
+      MDRR_ASSIGN_OR_RETURN(artifacts.dependence_epsilon,
+                            ParseOneDouble(line));
+    } else if (key == "marginals") {
+      MDRR_ASSIGN_OR_RETURN(declared_marginals, ParseOneUint(line));
+    } else if (key == "marginal") {
+      // "marginal <len> <p...>": the declared length is an integer, not
+      // a double (casting an arbitrary double would be UB for NaN or
+      // out-of-range values).
+      if (line.tokens.empty()) {
+        return Status::InvalidArgument("malformed marginal line");
+      }
+      MDRR_ASSIGN_OR_RETURN(int64_t declared, ParseInt64(line.tokens[0]));
+      if (declared < 0 ||
+          static_cast<size_t>(declared) + 1 != line.tokens.size()) {
+        return Status::InvalidArgument("malformed marginal line");
+      }
+      std::vector<double> marginal;
+      marginal.reserve(static_cast<size_t>(declared));
+      for (size_t t = 1; t < line.tokens.size(); ++t) {
+        MDRR_ASSIGN_OR_RETURN(double p, ParseDouble(line.tokens[t]));
+        marginal.push_back(p);
+      }
+      artifacts.marginal_estimates.push_back(std::move(marginal));
+    } else if (key == "clusters") {
+      MDRR_ASSIGN_OR_RETURN(declared_clusters, ParseOneUint(line));
+    } else if (key == "cluster") {
+      MDRR_ASSIGN_OR_RETURN(std::vector<size_t> cluster,
+                            ParseIndexList(line));
+      if (cluster.empty()) {
+        return Status::InvalidArgument("empty cluster line");
+      }
+      artifacts.clustering.push_back(std::move(cluster));
+    } else if (key == "dependences") {
+      MDRR_ASSIGN_OR_RETURN(declared_dependence_rows, ParseOneUint(line));
+    } else if (key == "deprow") {
+      MDRR_ASSIGN_OR_RETURN(std::vector<double> row, ParseDoubleList(line));
+      dependence_rows.push_back(std::move(row));
+    } else if (key == "adjustment") {
+      if (line.tokens.size() != 3) {
+        return Status::InvalidArgument("malformed adjustment line");
+      }
+      AdjustmentResult adjustment;
+      MDRR_ASSIGN_OR_RETURN(int64_t iterations, ParseInt64(line.tokens[0]));
+      adjustment.iterations = static_cast<int>(iterations);
+      if (line.tokens[1] != "0" && line.tokens[1] != "1") {
+        return Status::InvalidArgument("malformed adjustment line");
+      }
+      adjustment.converged = line.tokens[1] == "1";
+      MDRR_ASSIGN_OR_RETURN(adjustment.max_marginal_gap,
+                            ParseDouble(line.tokens[2]));
+      if (artifacts.adjustment.has_value()) {
+        adjustment.weights = std::move(artifacts.adjustment->weights);
+      }
+      artifacts.adjustment = std::move(adjustment);
+    } else if (key == "weights") {
+      if (!artifacts.adjustment.has_value()) {
+        artifacts.adjustment.emplace();
+      }
+      MDRR_ASSIGN_OR_RETURN(artifacts.adjustment->weights,
+                            ParseDoubleList(line));
+    } else if (key == "utility.marginal_tv") {
+      if (!artifacts.utility.has_value()) artifacts.utility.emplace();
+      MDRR_ASSIGN_OR_RETURN(artifacts.utility->marginal_tv,
+                            ParseDoubleList(line));
+    } else if (key == "utility.median_relative_error") {
+      if (!artifacts.utility.has_value()) artifacts.utility.emplace();
+      MDRR_ASSIGN_OR_RETURN(artifacts.utility->median_relative_error,
+                            ParseDoubleList(line));
+    } else if (key == "utility.max_dependence_shift") {
+      if (!artifacts.utility.has_value()) artifacts.utility.emplace();
+      MDRR_ASSIGN_OR_RETURN(artifacts.utility->max_dependence_shift,
+                            ParseOneDouble(line));
+    } else if (key == "timing") {
+      if (line.tokens.size() != 2) {
+        return Status::InvalidArgument("malformed timing line");
+      }
+      StageTiming timing;
+      timing.stage = line.tokens[0];
+      MDRR_ASSIGN_OR_RETURN(timing.seconds, ParseDouble(line.tokens[1]));
+      artifacts.timings.push_back(std::move(timing));
+    } else {
+      return Status::InvalidArgument("unknown artifacts key '" + key + "'");
+    }
+  }
+
+  if (artifacts.marginal_estimates.size() != declared_marginals) {
+    return Status::InvalidArgument("marginal count mismatch");
+  }
+  if (artifacts.clustering.size() != declared_clusters) {
+    return Status::InvalidArgument("cluster count mismatch");
+  }
+  if (dependence_rows.size() != declared_dependence_rows) {
+    return Status::InvalidArgument("dependence row count mismatch");
+  }
+  if (!dependence_rows.empty()) {
+    artifacts.dependences =
+        linalg::Matrix(dependence_rows.size(), dependence_rows.size());
+    for (size_t i = 0; i < dependence_rows.size(); ++i) {
+      if (dependence_rows[i].size() != dependence_rows.size()) {
+        return Status::InvalidArgument("dependence matrix is not square");
+      }
+      for (size_t j = 0; j < dependence_rows[i].size(); ++j) {
+        artifacts.dependences(i, j) = dependence_rows[i][j];
+      }
+    }
+  }
+  return artifacts;
+}
+
+Status WriteReleaseArtifacts(const ReleaseArtifacts& artifacts,
+                             const std::string& path) {
+  return WriteText(PrintReleaseArtifacts(artifacts), path);
+}
+
+StatusOr<ReleaseArtifacts> ReadReleaseArtifacts(const std::string& path) {
+  MDRR_ASSIGN_OR_RETURN(std::string text, ReadText(path));
+  return ParseReleaseArtifacts(text);
+}
+
+}  // namespace mdrr::release

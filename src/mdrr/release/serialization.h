@@ -1,0 +1,41 @@
+// Plain-text serialization of the release API values, so a whole
+// release is reproducible from a spec file and its estimation summary
+// can be archived next to the published CSVs.
+//
+// ReleaseSpec (line-oriented `key value...`, versioned header
+// `mdrr-release-spec v1`, `#` comments allowed): every field is printed;
+// parsing accepts any subset (missing keys keep their defaults) and
+// rejects unknown keys and malformed values, so
+// ParseReleaseSpec(PrintReleaseSpec(spec)) == spec for every spec.
+//
+// ReleaseArtifacts (`mdrr-release-artifacts v1`): the estimation summary
+// only -- marginals, clustering, dependences, epsilons, adjustment
+// weights, utility scalars, timings. The randomized/synthetic datasets
+// are NOT embedded; they go to the CSV side files named by the spec's
+// OutputSpec. Print/Parse round-trips the summary exactly.
+
+#ifndef MDRR_RELEASE_SERIALIZATION_H_
+#define MDRR_RELEASE_SERIALIZATION_H_
+
+#include <string>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/release/artifacts.h"
+#include "mdrr/release/spec.h"
+
+namespace mdrr::release {
+
+std::string PrintReleaseSpec(const ReleaseSpec& spec);
+StatusOr<ReleaseSpec> ParseReleaseSpec(const std::string& text);
+Status WriteReleaseSpec(const ReleaseSpec& spec, const std::string& path);
+StatusOr<ReleaseSpec> ReadReleaseSpec(const std::string& path);
+
+std::string PrintReleaseArtifacts(const ReleaseArtifacts& artifacts);
+StatusOr<ReleaseArtifacts> ParseReleaseArtifacts(const std::string& text);
+Status WriteReleaseArtifacts(const ReleaseArtifacts& artifacts,
+                             const std::string& path);
+StatusOr<ReleaseArtifacts> ReadReleaseArtifacts(const std::string& path);
+
+}  // namespace mdrr::release
+
+#endif  // MDRR_RELEASE_SERIALIZATION_H_

@@ -1,0 +1,321 @@
+#include "mdrr/release/spec.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace mdrr::release {
+
+bool operator==(const DatasetSpec& a, const DatasetSpec& b) {
+  return a.source == b.source && a.csv_path == b.csv_path &&
+         a.csv_has_header == b.csv_has_header &&
+         a.synthetic_records == b.synthetic_records &&
+         a.synthetic_seed == b.synthetic_seed;
+}
+
+bool operator==(const BudgetSpec& a, const BudgetSpec& b) {
+  return a.keep_probability == b.keep_probability &&
+         a.dependence_keep_probability == b.dependence_keep_probability &&
+         a.max_total_epsilon == b.max_total_epsilon;
+}
+
+bool operator==(const MechanismSpec& a, const MechanismSpec& b) {
+  return a.kind == b.kind && a.joint_attributes == b.joint_attributes &&
+         a.clustering.max_combinations == b.clustering.max_combinations &&
+         a.clustering.min_dependence == b.clustering.min_dependence &&
+         a.dependence_source == b.dependence_source &&
+         a.use_paper_epsilon_formula == b.use_paper_epsilon_formula;
+}
+
+bool operator==(const AdjustmentSpec& a, const AdjustmentSpec& b) {
+  return a.enabled == b.enabled && a.max_iterations == b.max_iterations &&
+         a.tolerance == b.tolerance && a.groups == b.groups;
+}
+
+bool operator==(const SyntheticSpec& a, const SyntheticSpec& b) {
+  return a.enabled == b.enabled && a.records == b.records;
+}
+
+bool operator==(const EvaluationSpec& a, const EvaluationSpec& b) {
+  return a.utility_report == b.utility_report && a.sigmas == b.sigmas &&
+         a.queries_per_sigma == b.queries_per_sigma && a.seed == b.seed;
+}
+
+bool operator==(const ExecutionPolicy& a, const ExecutionPolicy& b) {
+  return a.kind == b.kind && a.seed == b.seed &&
+         a.num_threads == b.num_threads && a.shard_size == b.shard_size;
+}
+
+bool operator==(const OutputSpec& a, const OutputSpec& b) {
+  return a.randomized_csv == b.randomized_csv &&
+         a.synthetic_csv == b.synthetic_csv &&
+         a.artifacts_path == b.artifacts_path;
+}
+
+bool operator==(const ReleaseSpec& a, const ReleaseSpec& b) {
+  return a.dataset == b.dataset && a.budget == b.budget &&
+         a.mechanism == b.mechanism && a.adjustment == b.adjustment &&
+         a.synthetic == b.synthetic && a.evaluation == b.evaluation &&
+         a.execution == b.execution && a.output == b.output;
+}
+
+const char* ToString(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kIndependent:
+      return "independent";
+    case MechanismKind::kJoint:
+      return "joint";
+    case MechanismKind::kClusters:
+      return "clusters";
+    case MechanismKind::kPram:
+      return "pram";
+  }
+  return "unknown";
+}
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kSequential:
+      return "sequential";
+    case PolicyKind::kSharded:
+      return "sharded";
+  }
+  return "unknown";
+}
+
+const char* ToString(DatasetSpec::Source source) {
+  switch (source) {
+    case DatasetSpec::Source::kProvided:
+      return "provided";
+    case DatasetSpec::Source::kCsvFile:
+      return "csv";
+    case DatasetSpec::Source::kSyntheticAdult:
+      return "synthetic-adult";
+  }
+  return "unknown";
+}
+
+const char* ToString(DependenceSource source) {
+  switch (source) {
+    case DependenceSource::kOracle:
+      return "oracle";
+    case DependenceSource::kRandomizedResponse:
+      return "rr";
+    case DependenceSource::kSecureSum:
+      return "securesum";
+    case DependenceSource::kPairwiseRr:
+      return "pairwise";
+    case DependenceSource::kProvided:
+      return "provided";
+  }
+  return "unknown";
+}
+
+StatusOr<MechanismKind> MechanismKindFromString(std::string_view token) {
+  if (token == "independent") return MechanismKind::kIndependent;
+  if (token == "joint") return MechanismKind::kJoint;
+  if (token == "clusters") return MechanismKind::kClusters;
+  if (token == "pram") return MechanismKind::kPram;
+  return Status::InvalidArgument("unknown mechanism kind '" +
+                                 std::string(token) + "'");
+}
+
+StatusOr<PolicyKind> PolicyKindFromString(std::string_view token) {
+  if (token == "sequential") return PolicyKind::kSequential;
+  if (token == "sharded") return PolicyKind::kSharded;
+  return Status::InvalidArgument("unknown execution policy '" +
+                                 std::string(token) + "'");
+}
+
+StatusOr<DatasetSpec::Source> DatasetSourceFromString(std::string_view token) {
+  if (token == "provided") return DatasetSpec::Source::kProvided;
+  if (token == "csv") return DatasetSpec::Source::kCsvFile;
+  if (token == "synthetic-adult") return DatasetSpec::Source::kSyntheticAdult;
+  return Status::InvalidArgument("unknown dataset source '" +
+                                 std::string(token) + "'");
+}
+
+StatusOr<DependenceSource> DependenceSourceFromString(std::string_view token) {
+  if (token == "oracle") return DependenceSource::kOracle;
+  if (token == "rr") return DependenceSource::kRandomizedResponse;
+  if (token == "securesum") return DependenceSource::kSecureSum;
+  if (token == "pairwise") return DependenceSource::kPairwiseRr;
+  if (token == "provided") return DependenceSource::kProvided;
+  return Status::InvalidArgument("unknown dependence source '" +
+                                 std::string(token) + "'");
+}
+
+namespace {
+
+bool IsProbability(double p) { return std::isfinite(p) && p > 0.0 && p <= 1.0; }
+
+Status ValidateGroups(const AdjustmentSpec& adjustment, MechanismKind kind,
+                      size_t num_attributes) {
+  for (const std::vector<size_t>& group : adjustment.groups) {
+    if (group.empty()) {
+      return Status::InvalidArgument("adjustment group is empty");
+    }
+    std::set<size_t> seen;
+    for (size_t j : group) {
+      if (num_attributes > 0 && j >= num_attributes) {
+        return Status::InvalidArgument(
+            "adjustment group references absent attribute " +
+            std::to_string(j) + " (schema has " +
+            std::to_string(num_attributes) + ")");
+      }
+      if (!seen.insert(j).second) {
+        return Status::InvalidArgument(
+            "adjustment group lists attribute " + std::to_string(j) +
+            " twice");
+      }
+    }
+    if ((kind == MechanismKind::kIndependent ||
+         kind == MechanismKind::kPram) &&
+        group.size() != 1) {
+      return Status::InvalidArgument(
+          "the independent and pram mechanisms only constrain "
+          "single-attribute marginals; got a group of " +
+          std::to_string(group.size()) + " attributes");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateReleaseSpec(const ReleaseSpec& spec, size_t num_attributes) {
+  // Dataset binding.
+  if (spec.dataset.source == DatasetSpec::Source::kCsvFile &&
+      spec.dataset.csv_path.empty()) {
+    return Status::InvalidArgument(
+        "dataset.source is csv but csv_path is empty");
+  }
+  if (spec.dataset.source == DatasetSpec::Source::kSyntheticAdult &&
+      spec.dataset.synthetic_records == 0) {
+    return Status::InvalidArgument("dataset.synthetic_records must be > 0");
+  }
+
+  // Budget.
+  if (!IsProbability(spec.budget.keep_probability)) {
+    return Status::InvalidArgument("budget.keep_probability must be in (0, 1]");
+  }
+  if (!IsProbability(spec.budget.dependence_keep_probability)) {
+    return Status::InvalidArgument(
+        "budget.dependence_keep_probability must be in (0, 1]");
+  }
+  if (std::isnan(spec.budget.max_total_epsilon) ||
+      spec.budget.max_total_epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "budget.max_total_epsilon must be > 0 (omit it to disable the cap)");
+  }
+
+  // Mechanism.
+  switch (spec.mechanism.kind) {
+    case MechanismKind::kJoint: {
+      if (spec.mechanism.joint_attributes.empty()) {
+        return Status::InvalidArgument(
+            "the joint mechanism needs a non-empty attribute set");
+      }
+      std::set<size_t> seen;
+      for (size_t j : spec.mechanism.joint_attributes) {
+        if (num_attributes > 0 && j >= num_attributes) {
+          return Status::InvalidArgument(
+              "joint attribute " + std::to_string(j) +
+              " is absent (schema has " + std::to_string(num_attributes) +
+              ")");
+        }
+        if (!seen.insert(j).second) {
+          return Status::InvalidArgument("joint attribute " +
+                                         std::to_string(j) + " listed twice");
+        }
+      }
+      break;
+    }
+    case MechanismKind::kClusters:
+      if (!(spec.mechanism.clustering.max_combinations >= 1.0)) {
+        return Status::InvalidArgument(
+            "mechanism.clustering.max_combinations (Tv) must be >= 1");
+      }
+      if (std::isnan(spec.mechanism.clustering.min_dependence) ||
+          spec.mechanism.clustering.min_dependence < 0.0 ||
+          spec.mechanism.clustering.min_dependence > 1.0) {
+        return Status::InvalidArgument(
+            "mechanism.clustering.min_dependence (Td) must be in [0, 1]");
+      }
+      if (spec.mechanism.dependence_source == DependenceSource::kProvided) {
+        return Status::InvalidArgument(
+            "dependence source 'provided' cannot appear in a spec (a spec "
+            "carries no matrix); use RunRrClustersWith directly");
+      }
+      break;
+    case MechanismKind::kIndependent:
+    case MechanismKind::kPram:
+      break;
+  }
+
+  // Adjustment.
+  if (spec.adjustment.enabled) {
+    if (spec.mechanism.kind == MechanismKind::kJoint) {
+      return Status::InvalidArgument(
+          "adjustment needs at least two marginal constraints; the joint "
+          "mechanism releases one joint distribution");
+    }
+    if (spec.adjustment.max_iterations <= 0) {
+      return Status::InvalidArgument("adjustment.max_iterations must be > 0");
+    }
+    if (!(spec.adjustment.tolerance > 0.0)) {
+      return Status::InvalidArgument("adjustment.tolerance must be > 0");
+    }
+    MDRR_RETURN_IF_ERROR(ValidateGroups(spec.adjustment, spec.mechanism.kind,
+                                        num_attributes));
+  } else if (!spec.adjustment.groups.empty()) {
+    return Status::InvalidArgument(
+        "adjustment.groups given but adjustment is disabled");
+  }
+
+  // Synthetic output.
+  if (spec.synthetic.enabled) {
+    if (spec.mechanism.kind == MechanismKind::kJoint ||
+        spec.mechanism.kind == MechanismKind::kPram) {
+      return Status::InvalidArgument(
+          "synthetic output is supported for the independent and clusters "
+          "mechanisms only");
+    }
+    if (spec.synthetic.records < 0) {
+      return Status::InvalidArgument("synthetic.records must be >= 0");
+    }
+  }
+
+  // Evaluation.
+  if (spec.evaluation.utility_report) {
+    if (!spec.synthetic.enabled) {
+      return Status::InvalidArgument(
+          "evaluation.utility_report compares the synthetic release against "
+          "the input; enable synthetic output first");
+    }
+    if (spec.evaluation.queries_per_sigma <= 0) {
+      return Status::InvalidArgument(
+          "evaluation.queries_per_sigma must be > 0");
+    }
+    for (double sigma : spec.evaluation.sigmas) {
+      if (!(sigma > 0.0) || sigma > 1.0) {
+        return Status::InvalidArgument(
+            "evaluation.sigmas entries must be in (0, 1]");
+      }
+    }
+  }
+
+  // Execution.
+  if (spec.execution.shard_size == 0) {
+    return Status::InvalidArgument("execution.shard_size must be > 0");
+  }
+
+  // Outputs.
+  if (!spec.output.synthetic_csv.empty() && !spec.synthetic.enabled) {
+    return Status::InvalidArgument(
+        "output.synthetic_csv given but synthetic output is disabled");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdrr::release

@@ -1,0 +1,180 @@
+// Declarative description of a complete data release.
+//
+// A ReleaseSpec says WHAT to release -- which data set, under which
+// privacy budget, through which mechanism, with which post-processing
+// and outputs -- and one ExecutionPolicy says HOW to run it (the
+// sequential reference path or the sharded batch engine). The spec is a
+// plain value: it serializes to text (release/serialization.h), compares
+// for equality, and carries no pointers, so a release is reproducible
+// from a spec file alone. ReleasePlanner (release/planner.h) validates a
+// spec and lowers it into an executable ReleasePlan.
+
+#ifndef MDRR_RELEASE_SPEC_H_
+#define MDRR_RELEASE_SPEC_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/clustering.h"
+#include "mdrr/core/rr_clusters.h"
+
+namespace mdrr::release {
+
+// Which privacy mechanism perturbs the data. The adapters live in
+// release/mechanism.h; the underlying stage functions (RunRrIndependent,
+// RunRrJoint, RunRrClusters, ApplyPram, BatchPerturbationEngine) are the
+// implementation layer and stay callable directly.
+enum class MechanismKind {
+  kIndependent,  // Protocol 1: per-attribute RR.
+  kJoint,        // Protocol 2: one RR over a product domain.
+  kClusters,     // Section 4: assess, cluster, RR-Joint per cluster.
+  kPram,         // Controller-side post-randomization (Section 2.1).
+};
+
+// How the plan executes. kSequential is the single-stream reference path
+// (one Rng drawn in stage order); kSharded routes every stage through
+// the BatchPerturbationEngine contracts, bit-identical for any
+// num_threads at fixed (seed, shard_size).
+enum class PolicyKind {
+  kSequential,
+  kSharded,
+};
+
+// Where the microdata comes from.
+struct DatasetSpec {
+  enum class Source {
+    kProvided,        // Caller passes a Dataset to ReleasePlanner::Plan.
+    kCsvFile,         // Schema inferred from a CSV file.
+    kSyntheticAdult,  // The calibrated Adult synthesizer (dataset/adult.h).
+  };
+  Source source = Source::kProvided;
+  std::string csv_path;        // kCsvFile only.
+  bool csv_has_header = true;  // kCsvFile only.
+  size_t synthetic_records = 32561;  // kSyntheticAdult only.
+  uint64_t synthetic_seed = 42;      // kSyntheticAdult only.
+};
+
+// Privacy parameters. The paper parameterizes designs by the keep
+// probability p of the KeepUniform matrix; epsilons are derived via
+// Expression (4). max_total_epsilon is a hard acceptance cap on the
+// sequentially-composed total (assessment + release): a plan whose
+// realized total exceeds it fails with FailedPrecondition instead of
+// publishing. Infinity (the default) disables the cap; a cap <= 0 is
+// rejected at validation.
+struct BudgetSpec {
+  double keep_probability = 0.7;
+  // Keep probability of the dependence-assessment round (Sections 4.1,
+  // 4.3); only the clusters mechanism spends it.
+  double dependence_keep_probability = 0.7;
+  double max_total_epsilon = std::numeric_limits<double>::infinity();
+};
+
+// Mechanism choice plus its mechanism-specific settings.
+struct MechanismSpec {
+  MechanismKind kind = MechanismKind::kClusters;
+  // kJoint: the attribute subset released jointly. Must be non-empty,
+  // within the schema, and duplicate-free.
+  std::vector<size_t> joint_attributes;
+  // kClusters: Algorithm 1 knobs and the dependence-assessment method.
+  // DependenceSource::kProvided cannot appear in a spec (a spec carries
+  // no matrix); hoisted matrices stay on the direct RunRrClustersWith
+  // path.
+  ClusteringOptions clustering;
+  DependenceSource dependence_source = DependenceSource::kRandomizedResponse;
+  bool use_paper_epsilon_formula = false;
+};
+
+// Optional Algorithm 2 marginal adjustment over the randomized records.
+struct AdjustmentSpec {
+  bool enabled = false;
+  int max_iterations = 100;
+  double tolerance = 1e-9;
+  // Explicit constraint groups as attribute-index sets; empty means one
+  // group per mechanism unit (per attribute for independent/pram, per
+  // cluster for clusters). Groups must reference existing attributes;
+  // for independent/pram each group must be a singleton, and for
+  // clusters each group must coincide with a realized cluster.
+  std::vector<std::vector<size_t>> groups;
+};
+
+// Optional synthetic microdata output (Introduction / Section 3.2).
+struct SyntheticSpec {
+  bool enabled = false;
+  // Records to synthesize; 0 means "match the input size".
+  int64_t records = 0;
+};
+
+// Optional evaluation of the synthetic release against the input.
+struct EvaluationSpec {
+  bool utility_report = false;  // Requires synthetic.enabled.
+  std::vector<double> sigmas = {0.1, 0.3, 0.5, 0.7, 0.9};
+  int queries_per_sigma = 25;
+  uint64_t seed = 1;
+};
+
+// The single execution policy every stage obeys. This subsumes the
+// per-stage seed/threads/shard knobs of the implementation layer:
+// `seed` and `shard_size` are part of the randomness contract,
+// `num_threads` never changes output (0 = one worker per core).
+struct ExecutionPolicy {
+  PolicyKind kind = PolicyKind::kSequential;
+  uint64_t seed = 1;
+  size_t num_threads = 0;       // kSharded only.
+  size_t shard_size = 1 << 16;  // kSharded only.
+};
+
+// Where to persist the products; empty paths mean "keep in memory only".
+struct OutputSpec {
+  std::string randomized_csv;
+  std::string synthetic_csv;   // Requires synthetic.enabled.
+  std::string artifacts_path;  // Serialized ReleaseArtifacts summary.
+};
+
+struct ReleaseSpec {
+  DatasetSpec dataset;
+  BudgetSpec budget;
+  MechanismSpec mechanism;
+  AdjustmentSpec adjustment;
+  SyntheticSpec synthetic;
+  EvaluationSpec evaluation;
+  ExecutionPolicy execution;
+  OutputSpec output;
+};
+
+bool operator==(const DatasetSpec& a, const DatasetSpec& b);
+bool operator==(const BudgetSpec& a, const BudgetSpec& b);
+bool operator==(const MechanismSpec& a, const MechanismSpec& b);
+bool operator==(const AdjustmentSpec& a, const AdjustmentSpec& b);
+bool operator==(const SyntheticSpec& a, const SyntheticSpec& b);
+bool operator==(const EvaluationSpec& a, const EvaluationSpec& b);
+bool operator==(const ExecutionPolicy& a, const ExecutionPolicy& b);
+bool operator==(const OutputSpec& a, const OutputSpec& b);
+bool operator==(const ReleaseSpec& a, const ReleaseSpec& b);
+inline bool operator!=(const ReleaseSpec& a, const ReleaseSpec& b) {
+  return !(a == b);
+}
+
+// Stable token names used by serialization, the CLI, and error messages.
+const char* ToString(MechanismKind kind);
+const char* ToString(PolicyKind kind);
+const char* ToString(DatasetSpec::Source source);
+const char* ToString(DependenceSource source);
+StatusOr<MechanismKind> MechanismKindFromString(std::string_view token);
+StatusOr<PolicyKind> PolicyKindFromString(std::string_view token);
+StatusOr<DatasetSpec::Source> DatasetSourceFromString(std::string_view token);
+StatusOr<DependenceSource> DependenceSourceFromString(std::string_view token);
+
+// Structural validation against a known attribute count (everything that
+// does not need the realized clustering): parameter ranges, mechanism
+// requirements, cross-section contradictions. ReleasePlanner calls this
+// after resolving the dataset; exposed so tools can lint a spec without
+// loading data (`num_attributes` = 0 skips the index checks).
+Status ValidateReleaseSpec(const ReleaseSpec& spec, size_t num_attributes);
+
+}  // namespace mdrr::release
+
+#endif  // MDRR_RELEASE_SPEC_H_

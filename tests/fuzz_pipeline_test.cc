@@ -15,6 +15,8 @@
 #include "mdrr/eval/experiment.h"
 #include "mdrr/eval/utility_report.h"
 #include "mdrr/protocol/session.h"
+#include "mdrr/release/planner.h"
+#include "mdrr/release/serialization.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr {
@@ -136,6 +138,325 @@ TEST_P(FuzzPipeline, FullStackInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Release-spec validator fuzzing: malformed and contradictory specs must
+// come back as Status errors -- never crash, never run.
+// ---------------------------------------------------------------------------
+
+// Plans (and, when planning succeeds, runs) a spec against a small
+// dataset and requires a non-OK status somewhere.
+void ExpectSpecRejected(const release::ReleaseSpec& spec,
+                        const Dataset& data) {
+  auto plan = release::ReleasePlanner::Plan(spec, &data);
+  if (!plan.ok()) return;
+  auto artifacts = plan.value().Run();
+  EXPECT_FALSE(artifacts.ok())
+      << "contradictory spec was accepted: "
+      << release::PrintReleaseSpec(spec);
+}
+
+TEST(FuzzReleaseSpec, ContradictorySpecsAreRejected) {
+  Dataset ds = RandomDataset(3);
+  const size_t m = ds.num_attributes();
+  std::vector<release::ReleaseSpec> bad;
+
+  {  // Epsilon cap <= 0 (and NaN).
+    release::ReleaseSpec spec;
+    spec.budget.max_total_epsilon = 0.0;
+    bad.push_back(spec);
+    spec.budget.max_total_epsilon = -3.0;
+    bad.push_back(spec);
+    spec.budget.max_total_epsilon = std::nan("");
+    bad.push_back(spec);
+  }
+  {  // Keep probabilities outside (0, 1].
+    release::ReleaseSpec spec;
+    spec.budget.keep_probability = 0.0;
+    bad.push_back(spec);
+    spec.budget.keep_probability = 1.5;
+    bad.push_back(spec);
+    spec.budget.keep_probability = 0.7;
+    spec.budget.dependence_keep_probability = -0.2;
+    bad.push_back(spec);
+  }
+  {  // Joint mechanism with an empty / duplicated / absent attribute set.
+    release::ReleaseSpec spec;
+    spec.mechanism.kind = release::MechanismKind::kJoint;
+    bad.push_back(spec);  // Empty cluster set.
+    spec.mechanism.joint_attributes = {0, 0};
+    bad.push_back(spec);
+    spec.mechanism.joint_attributes = {m + 5};
+    bad.push_back(spec);
+  }
+  {  // Clustering knobs out of range; provided source without a matrix.
+    release::ReleaseSpec spec;
+    spec.mechanism.clustering.max_combinations = 0.0;
+    bad.push_back(spec);
+    spec.mechanism.clustering = ClusteringOptions{50.0, 2.0};
+    bad.push_back(spec);
+    spec.mechanism.clustering = ClusteringOptions{50.0, 0.1};
+    spec.mechanism.dependence_source = DependenceSource::kProvided;
+    bad.push_back(spec);
+  }
+  {  // Adjustment groups referencing absent attributes, duplicates,
+     // empty groups, non-singletons under independent, groups while
+     // disabled, and nonsense iteration knobs.
+    release::ReleaseSpec spec;
+    spec.mechanism.kind = release::MechanismKind::kIndependent;
+    spec.adjustment.enabled = true;
+    spec.adjustment.groups = {{m + 1}};
+    bad.push_back(spec);
+    spec.adjustment.groups = {{0, 0}};
+    bad.push_back(spec);
+    spec.adjustment.groups = {{}};
+    bad.push_back(spec);
+    spec.adjustment.groups = {{0, 1}};  // Non-singleton for independent.
+    bad.push_back(spec);
+    spec.adjustment.groups.clear();
+    spec.adjustment.max_iterations = 0;
+    bad.push_back(spec);
+    spec.adjustment.max_iterations = 100;
+    spec.adjustment.tolerance = 0.0;
+    bad.push_back(spec);
+    spec.adjustment.tolerance = 1e-9;
+    spec.adjustment.enabled = false;
+    spec.adjustment.groups = {{0}};
+    bad.push_back(spec);
+  }
+  {  // Adjustment / synthesis on mechanisms that cannot support them.
+    release::ReleaseSpec spec;
+    spec.mechanism.kind = release::MechanismKind::kJoint;
+    spec.mechanism.joint_attributes = {0};
+    spec.adjustment.enabled = true;
+    bad.push_back(spec);
+    spec.adjustment.enabled = false;
+    spec.synthetic.enabled = true;
+    bad.push_back(spec);
+    spec.mechanism.kind = release::MechanismKind::kPram;
+    bad.push_back(spec);
+  }
+  {  // A clusters adjustment group that cannot match any realized
+     // cluster: Tv=1 forbids every merge, so clusters are singletons and
+     // a two-attribute group necessarily spans clusters.
+    release::ReleaseSpec spec;
+    spec.mechanism.kind = release::MechanismKind::kClusters;
+    spec.mechanism.dependence_source = DependenceSource::kOracle;
+    spec.mechanism.clustering.max_combinations = 1.0;
+    spec.adjustment.enabled = true;
+    spec.adjustment.groups = {{0, 1}};
+    bad.push_back(spec);
+  }
+  {  // Evaluation without synthetic output; bad sigmas; bad queries.
+    release::ReleaseSpec spec;
+    spec.evaluation.utility_report = true;
+    bad.push_back(spec);
+    spec.mechanism.kind = release::MechanismKind::kIndependent;
+    spec.synthetic.enabled = true;
+    spec.evaluation.sigmas = {0.0};
+    bad.push_back(spec);
+    spec.evaluation.sigmas = {0.3};
+    spec.evaluation.queries_per_sigma = 0;
+    bad.push_back(spec);
+    spec.evaluation.utility_report = false;
+    spec.synthetic.enabled = true;
+    spec.synthetic.records = -5;
+    bad.push_back(spec);
+  }
+  {  // Execution / dataset / output contradictions.
+    release::ReleaseSpec spec;
+    spec.execution.shard_size = 0;
+    bad.push_back(spec);
+    spec.execution.shard_size = 1 << 16;
+    spec.dataset.source = release::DatasetSpec::Source::kCsvFile;
+    bad.push_back(spec);  // Empty csv_path.
+    spec.dataset.source = release::DatasetSpec::Source::kSyntheticAdult;
+    spec.dataset.synthetic_records = 0;
+    bad.push_back(spec);
+    spec.dataset = release::DatasetSpec{};
+    spec.output.synthetic_csv = "/tmp/x.csv";  // Synthetic disabled.
+    bad.push_back(spec);
+  }
+
+  for (const release::ReleaseSpec& spec : bad) {
+    ExpectSpecRejected(spec, ds);
+  }
+
+  // kProvided source without a dataset pointer.
+  release::ReleaseSpec provided;
+  EXPECT_FALSE(release::ReleasePlanner::Plan(provided, nullptr).ok());
+}
+
+// Random mutations of a printed spec: the parser and validator must
+// return a status (any status) without crashing.
+TEST(FuzzReleaseSpec, MutatedSpecTextNeverCrashes) {
+  release::ReleaseSpec spec;
+  spec.mechanism.kind = release::MechanismKind::kJoint;
+  spec.mechanism.joint_attributes = {0, 1};
+  spec.adjustment.groups = {{0}, {1, 2}};
+  spec.adjustment.enabled = true;
+  const std::string text = release::PrintReleaseSpec(spec);
+
+  Rng rng(2026);
+  const char garbage[] = "#\n \t-eXz0987.,;inf nan 1e999";
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = text;
+    switch (rng.UniformInt(4)) {
+      case 0: {  // Flip a byte.
+        size_t at = rng.UniformInt(mutated.size());
+        mutated[at] = garbage[rng.UniformInt(sizeof(garbage) - 1)];
+        break;
+      }
+      case 1: {  // Delete a chunk.
+        size_t at = rng.UniformInt(mutated.size());
+        mutated.erase(at, 1 + rng.UniformInt(40));
+        break;
+      }
+      case 2: {  // Duplicate a suffix (repeated keys are accepted).
+        size_t at = rng.UniformInt(mutated.size());
+        mutated += mutated.substr(at);
+        break;
+      }
+      default: {  // Insert noise.
+        size_t at = rng.UniformInt(mutated.size());
+        mutated.insert(at, &garbage[rng.UniformInt(sizeof(garbage) - 1)]);
+        break;
+      }
+    }
+    auto parsed = release::ParseReleaseSpec(mutated);
+    if (parsed.ok()) {
+      // Whatever parsed must validate cleanly or fail with a status.
+      release::ValidateReleaseSpec(parsed.value(), 8);
+    }
+  }
+}
+
+// Same for the artifacts summary parser (NaN/huge/negative declared
+// lengths, truncated matrices, garbage numbers).
+TEST(FuzzReleaseSpec, MutatedArtifactsTextNeverCrashes) {
+  const std::string text =
+      "mdrr-release-artifacts v1\n"
+      "records 100\n"
+      "release_epsilon 2.5\n"
+      "dependence_epsilon 0.5\n"
+      "marginals 2\n"
+      "marginal 2 0.25 0.75\n"
+      "marginal 3 0.5 0.25 0.25\n"
+      "clusters 1\n"
+      "cluster 0 1\n"
+      "dependences 2\n"
+      "deprow 1 0.3\n"
+      "deprow 0.3 1\n"
+      "adjustment 7 1 1e-10\n"
+      "weights 0.5 0.25 0.25\n"
+      "utility.marginal_tv 0.1 0.2\n"
+      "utility.median_relative_error 0.05\n"
+      "utility.max_dependence_shift 0.3\n"
+      "timing mechanism 0.25\n";
+  ASSERT_TRUE(release::ParseReleaseArtifacts(text).ok());
+
+  Rng rng(2027);
+  const char garbage[] = "#\n \t-eXz0987.,;inf nan 1e999";
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = text;
+    switch (rng.UniformInt(3)) {
+      case 0: {
+        size_t at = rng.UniformInt(mutated.size());
+        mutated[at] = garbage[rng.UniformInt(sizeof(garbage) - 1)];
+        break;
+      }
+      case 1: {
+        size_t at = rng.UniformInt(mutated.size());
+        mutated.erase(at, 1 + rng.UniformInt(40));
+        break;
+      }
+      default: {
+        size_t at = rng.UniformInt(mutated.size());
+        mutated.insert(at, &garbage[rng.UniformInt(sizeof(garbage) - 1)]);
+        break;
+      }
+    }
+    release::ParseReleaseArtifacts(mutated);  // ok or error, never a crash.
+  }
+}
+
+// Valid random specs through the whole façade: every combination of
+// mechanism x policy x toggles that validates must also execute.
+class FuzzReleasePlan : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzReleasePlan, ValidSpecsAlwaysExecute) {
+  const uint64_t seed = GetParam();
+  Dataset ds = RandomDataset(seed);
+  Rng rng(seed ^ 0x5eedf00d);
+
+  release::ReleaseSpec spec;
+  const release::MechanismKind kinds[] = {
+      release::MechanismKind::kIndependent, release::MechanismKind::kJoint,
+      release::MechanismKind::kClusters, release::MechanismKind::kPram};
+  spec.mechanism.kind = kinds[rng.UniformInt(4)];
+  spec.budget.keep_probability = 0.3 + 0.6 * rng.UniformDouble();
+  spec.budget.dependence_keep_probability =
+      0.3 + 0.6 * rng.UniformDouble();
+  if (spec.mechanism.kind == release::MechanismKind::kJoint) {
+    // A random non-empty subset of up to 3 attributes (keeps the
+    // product domain small).
+    for (size_t j = 0; j < ds.num_attributes() &&
+                       spec.mechanism.joint_attributes.size() < 3;
+         ++j) {
+      if (rng.Bernoulli(0.5)) spec.mechanism.joint_attributes.push_back(j);
+    }
+    if (spec.mechanism.joint_attributes.empty()) {
+      spec.mechanism.joint_attributes.push_back(0);
+    }
+  }
+  spec.mechanism.clustering =
+      ClusteringOptions{20.0 + rng.UniformInt(200) * 1.0, 0.1};
+  spec.mechanism.dependence_source =
+      rng.Bernoulli(0.5) ? DependenceSource::kOracle
+                         : DependenceSource::kRandomizedResponse;
+  const bool adjustable =
+      spec.mechanism.kind != release::MechanismKind::kJoint;
+  const bool synthesizable =
+      spec.mechanism.kind == release::MechanismKind::kIndependent ||
+      spec.mechanism.kind == release::MechanismKind::kClusters;
+  spec.adjustment.enabled = adjustable && rng.Bernoulli(0.5);
+  spec.synthetic.enabled = synthesizable && rng.Bernoulli(0.5);
+  if (rng.Bernoulli(0.5)) {
+    spec.execution.kind = release::PolicyKind::kSharded;
+    spec.execution.num_threads = 1 + rng.UniformInt(4);
+    spec.execution.shard_size = 64 + rng.UniformInt(2000);
+  }
+  spec.execution.seed = seed;
+
+  auto plan = release::ReleasePlanner::Plan(spec, &ds);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto artifacts = plan.value().Run();
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString()
+                              << "\nspec:\n"
+                              << release::PrintReleaseSpec(spec);
+  for (const auto& marginal : artifacts.value().marginal_estimates) {
+    ExpectProperDistribution(marginal);
+  }
+  if (artifacts.value().adjustment.has_value()) {
+    double total = 0.0;
+    for (double w : artifacts.value().adjustment->weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  if (artifacts.value().synthetic.has_value()) {
+    EXPECT_EQ(artifacts.value().synthetic->num_rows(), ds.num_rows());
+  }
+  // The spec reproduces itself through serialization and re-execution.
+  auto reparsed =
+      release::ParseReleaseSpec(release::PrintReleaseSpec(spec));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed.value() == spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzReleasePlan,
                          ::testing::Range<uint64_t>(1, 13));
 
 }  // namespace

@@ -3,22 +3,33 @@
 //   mdrr_cli schema --input=data.csv [--no_header]
 //       Infer and print the categorical schema of a CSV file.
 //
-//   mdrr_cli run --input=data.csv --method=independent|clusters
-//            [--no_header] [--p=0.7] [--tv=50] [--td=0.1]
-//            [--dep=oracle|rr|securesum|pairwise]
-//            [--randomized_out=y.csv] [--synthetic_out=s.csv] [--seed=1]
-//            [--threads=N] [--shard=S]
-//       Run a full local-anonymization pipeline: randomize every record,
-//       print the estimated marginals and the privacy ledger, optionally
-//       write the randomized and/or synthetic data sets. Passing
-//       --threads routes the WHOLE release through
-//       BatchPerturbationEngine with N workers (0 means one per
-//       hardware core): perturbation, the dependence-assessment
-//       statistics, and the synthetic release all shard, with output
-//       bit-identical for any N at a fixed --seed (--shard picks the
-//       records-per-shard grain, which IS part of the randomness
-//       contract). Omitting the flag runs the sequential column
-//       protocols, which draw from a different stream than the engine.
+//   mdrr_cli run ...
+//       Run a full local-anonymization release through the declarative
+//       release API (ReleaseSpec -> ReleasePlanner -> ReleaseArtifacts).
+//       Two ways to say what to run:
+//
+//       flag mode:
+//         --input=data.csv --method=independent|joint|clusters|pram
+//         [--no_header] [--p=0.7] [--attrs=0,1,2 (joint)]
+//         [--tv=50] [--td=0.1] [--dep=oracle|rr|securesum|pairwise]
+//         [--dep_p=0.7 (assessment-round keep probability)]
+//         [--budget=EPS] [--adjust] [--adjust_iters=100]
+//         [--randomized_out=y.csv] [--synthetic_out=s.csv] [--report]
+//         [--artifacts_out=a.txt] [--seed=1] [--threads=N] [--shard=S]
+//       spec mode:
+//         --spec=release.spec     (a serialized ReleaseSpec; all other
+//                                  release flags are ignored)
+//
+//       Passing --threads selects the sharded execution policy: every
+//       stage runs through the BatchPerturbationEngine contracts with N
+//       workers (0 = one per core), bit-identical for any N at a fixed
+//       --seed (--shard is part of the randomness contract). Omitting it
+//       selects the sequential policy, which is bit-identical to calling
+//       the stage functions directly with one Rng(seed).
+//
+//       --dump-spec prints the ReleaseSpec equivalent of the given flags
+//       (or normalizes --spec) and exits without running -- the
+//       migration aid from flag soup to spec files.
 //
 //   mdrr_cli risk --r=4 [--p=0.7] [--prior=0.4,0.3,0.2,0.1]
 //       Disclosure-risk analysis of a KeepUniform design: epsilon,
@@ -30,15 +41,13 @@
 
 #include "mdrr/common/flags.h"
 #include "mdrr/common/string_util.h"
-#include "mdrr/core/batch_engine.h"
+#include "mdrr/core/clustering.h"
 #include "mdrr/core/privacy.h"
 #include "mdrr/core/risk.h"
-#include "mdrr/core/rr_clusters.h"
-#include "mdrr/core/rr_independent.h"
-#include "mdrr/core/synthetic.h"
+#include "mdrr/core/rr_matrix.h"
 #include "mdrr/dataset/csv.h"
-#include "mdrr/eval/utility_report.h"
-#include "mdrr/rng/rng.h"
+#include "mdrr/release/planner.h"
+#include "mdrr/release/serialization.h"
 
 namespace {
 
@@ -57,21 +66,7 @@ StatusOr<Dataset> LoadInput(const FlagSet& flags) {
   if (path.empty()) {
     return Status::InvalidArgument("--input=FILE is required");
   }
-  MDRR_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
-                        mdrr::ReadCsvRows(path));
-  if (rows.empty()) {
-    return Status::InvalidArgument("input file is empty");
-  }
-  std::vector<std::string> names;
-  if (flags.GetBool("no_header", false)) {
-    for (size_t j = 0; j < rows[0].size(); ++j) {
-      names.push_back("column" + std::to_string(j));
-    }
-  } else {
-    names = rows.front();
-    rows.erase(rows.begin());
-  }
-  return mdrr::DatasetFromRows(rows, names);
+  return mdrr::ReadCsvDataset(path, !flags.GetBool("no_header", false));
 }
 
 int CmdSchema(const FlagSet& flags) {
@@ -98,10 +93,10 @@ int CmdSchema(const FlagSet& flags) {
   return 0;
 }
 
-void PrintMarginals(const Dataset& dataset,
+void PrintMarginals(const Dataset& released,
                     const std::vector<std::vector<double>>& estimates) {
-  for (size_t j = 0; j < dataset.num_attributes(); ++j) {
-    const mdrr::Attribute& a = dataset.attribute(j);
+  for (size_t j = 0; j < released.num_attributes(); ++j) {
+    const mdrr::Attribute& a = released.attribute(j);
     std::printf("  %s:\n", a.name.c_str());
     for (size_t v = 0; v < a.cardinality(); ++v) {
       std::printf("    %-24s %.4f\n", a.categories[v].c_str(),
@@ -110,129 +105,138 @@ void PrintMarginals(const Dataset& dataset,
   }
 }
 
-int CmdRun(const FlagSet& flags) {
-  auto dataset = LoadInput(flags);
-  if (!dataset.ok()) return Fail(dataset.status());
-  const Dataset& data = dataset.value();
+// The ReleaseSpec equivalent of the `run` flag set.
+StatusOr<mdrr::release::ReleaseSpec> SpecFromFlags(const FlagSet& flags) {
+  namespace release = mdrr::release;
+  release::ReleaseSpec spec;
 
-  const std::string method = flags.GetString("method", "clusters");
-  const double p = flags.GetDouble("p", 0.7);
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  mdrr::Rng rng(seed);
+  spec.dataset.source = release::DatasetSpec::Source::kCsvFile;
+  spec.dataset.csv_path = flags.GetString("input", "");
+  spec.dataset.csv_has_header = !flags.GetBool("no_header", false);
 
-  // Any explicit --threads (including 1) routes perturbation through the
-  // sharded batch engine, so the flag's value never changes the output.
-  const bool use_engine = flags.Has("threads");
-  const int64_t threads = flags.GetInt("threads", 0);
-  if (use_engine && threads < 0) {
-    return Fail(Status::InvalidArgument("--threads must be >= 0"));
+  spec.budget.keep_probability = flags.GetDouble("p", 0.7);
+  // The assessment round's keep probability is its own knob with its own
+  // default (matching RrClustersOptions), NOT tied to --p: pre-spec
+  // command lines must keep producing the same release.
+  spec.budget.dependence_keep_probability = flags.GetDouble("dep_p", 0.7);
+  if (flags.Has("budget")) {
+    spec.budget.max_total_epsilon = flags.GetDouble("budget", 0.0);
   }
-  mdrr::BatchPerturbationOptions engine_options;
-  engine_options.seed = seed;
-  engine_options.num_threads = static_cast<size_t>(threads);
-  engine_options.shard_size =
-      static_cast<size_t>(flags.GetInt("shard", 1 << 16));
-  mdrr::BatchPerturbationEngine engine(engine_options);
+
+  MDRR_ASSIGN_OR_RETURN(
+      spec.mechanism.kind,
+      release::MechanismKindFromString(flags.GetString("method", "clusters")));
+  if (flags.Has("attrs")) {
+    for (const std::string& part :
+         mdrr::Split(flags.GetString("attrs", ""), ',')) {
+      MDRR_ASSIGN_OR_RETURN(int64_t index, mdrr::ParseInt64(part));
+      if (index < 0) {
+        return Status::InvalidArgument("--attrs indices must be >= 0");
+      }
+      spec.mechanism.joint_attributes.push_back(static_cast<size_t>(index));
+    }
+  }
+  spec.mechanism.clustering = mdrr::ClusteringOptions{
+      flags.GetDouble("tv", 50.0), flags.GetDouble("td", 0.1)};
+  MDRR_ASSIGN_OR_RETURN(
+      spec.mechanism.dependence_source,
+      release::DependenceSourceFromString(flags.GetString("dep", "rr")));
+
+  spec.adjustment.enabled = flags.GetBool("adjust", false);
+  spec.adjustment.max_iterations =
+      static_cast<int>(flags.GetInt("adjust_iters", 100));
+
+  spec.synthetic.enabled = flags.Has("synthetic_out");
+  spec.evaluation.utility_report = flags.GetBool("report", false);
+
+  // Any explicit --threads (including 1) selects the sharded policy, so
+  // the flag's value never changes the output.
+  if (flags.Has("threads")) {
+    const int64_t threads = flags.GetInt("threads", 0);
+    if (threads < 0) {
+      return Status::InvalidArgument("--threads must be >= 0");
+    }
+    spec.execution.kind = release::PolicyKind::kSharded;
+    spec.execution.num_threads = static_cast<size_t>(threads);
+    spec.execution.shard_size =
+        static_cast<size_t>(flags.GetInt("shard", 1 << 16));
+  }
+  spec.execution.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  spec.output.randomized_csv = flags.GetString("randomized_out", "");
+  spec.output.synthetic_csv = flags.GetString("synthetic_out", "");
+  spec.output.artifacts_path = flags.GetString("artifacts_out", "");
+  return spec;
+}
+
+int CmdRun(const FlagSet& flags) {
+  namespace release = mdrr::release;
+
+  mdrr::release::ReleaseSpec spec;
+  if (flags.Has("spec")) {
+    auto parsed = release::ReadReleaseSpec(flags.GetString("spec", ""));
+    if (!parsed.ok()) return Fail(parsed.status());
+    spec = std::move(parsed).value();
+  } else {
+    auto built = SpecFromFlags(flags);
+    if (!built.ok()) return Fail(built.status());
+    spec = std::move(built).value();
+  }
+
+  if (flags.GetBool("dump-spec", flags.GetBool("dump_spec", false))) {
+    std::fputs(release::PrintReleaseSpec(spec).c_str(), stdout);
+    return 0;
+  }
+
+  auto plan = release::ReleasePlanner::Plan(spec);
+  if (!plan.ok()) return Fail(plan.status());
+  auto artifacts = plan.value().Run();
+  if (!artifacts.ok()) return Fail(artifacts.status());
+  const release::ReleaseArtifacts& a = artifacts.value();
+
+  if (!a.clustering.empty()) {
+    std::printf("clusters: %s\n",
+                mdrr::ClusteringToString(a.randomized, a.clustering).c_str());
+  }
+  std::printf("estimated marginal distributions:\n");
+  PrintMarginals(a.randomized, a.marginal_estimates);
 
   mdrr::PrivacyAccountant accountant;
-  Dataset randomized;
-  std::vector<std::vector<double>> marginal_estimates;
-  StatusOr<Dataset> synthetic = Status::NotFound("not generated");
-
-  if (method == "independent") {
-    auto result =
-        use_engine
-            ? engine.RunIndependent(data, mdrr::RrIndependentOptions{p})
-            : mdrr::RunRrIndependent(data, mdrr::RrIndependentOptions{p},
-                                     rng);
-    if (!result.ok()) return Fail(result.status());
-    accountant.Spend("RR-Independent release",
-                     result.value().total_epsilon);
-    randomized = result.value().randomized;
-    marginal_estimates = result.value().estimated;
-    if (flags.Has("synthetic_out")) {
-      synthetic =
-          use_engine
-              ? engine.SynthesizeIndependent(
-                    *result, static_cast<int64_t>(data.num_rows()))
-              : mdrr::SynthesizeFromIndependent(
-                    *result, static_cast<int64_t>(data.num_rows()), rng);
-    }
-  } else if (method == "clusters") {
-    mdrr::RrClustersOptions options;
-    options.keep_probability = p;
-    options.clustering = mdrr::ClusteringOptions{
-        flags.GetDouble("tv", 50.0), flags.GetDouble("td", 0.1)};
-    const std::string dep = flags.GetString("dep", "rr");
-    if (dep == "oracle") {
-      options.dependence_source = mdrr::DependenceSource::kOracle;
-    } else if (dep == "rr") {
-      options.dependence_source =
-          mdrr::DependenceSource::kRandomizedResponse;
-    } else if (dep == "securesum") {
-      options.dependence_source = mdrr::DependenceSource::kSecureSum;
-    } else if (dep == "pairwise") {
-      options.dependence_source = mdrr::DependenceSource::kPairwiseRr;
-    } else {
-      return Fail(Status::InvalidArgument("unknown --dep=" + dep));
-    }
-    auto result = use_engine ? engine.RunClusters(data, options)
-                             : mdrr::RunRrClusters(data, options, rng);
-    if (!result.ok()) return Fail(result.status());
-    std::printf("clusters: %s\n",
-                mdrr::ClusteringToString(data, result.value().clusters)
-                    .c_str());
-    accountant.Spend("dependence assessment",
-                     result.value().dependence_epsilon);
-    accountant.Spend("cluster-wise RR release",
-                     result.value().release_epsilon);
-    randomized = result.value().randomized;
-    // Per-attribute marginals from the cluster joints.
-    marginal_estimates.resize(data.num_attributes());
-    for (size_t c = 0; c < result.value().clusters.size(); ++c) {
-      const auto& members = result.value().clusters[c];
-      const mdrr::RrJointResult& joint = result.value().cluster_results[c];
-      for (size_t position = 0; position < members.size(); ++position) {
-        marginal_estimates[members[position]] =
-            joint.domain.MarginalizeTo(joint.estimated, position);
-      }
-    }
-    if (flags.Has("synthetic_out")) {
-      synthetic = use_engine
-                      ? engine.SynthesizeClusters(
-                            *result, static_cast<int64_t>(data.num_rows()))
-                      : mdrr::SynthesizeFromClusters(
-                            *result, static_cast<int64_t>(data.num_rows()),
-                            rng);
-    }
-  } else {
-    return Fail(Status::InvalidArgument("unknown --method=" + method));
+  if (a.dependence_epsilon > 0) {
+    accountant.Spend("dependence assessment", a.dependence_epsilon);
   }
-
-  std::printf("estimated marginal distributions:\n");
-  PrintMarginals(data, marginal_estimates);
+  accountant.Spend(std::string(release::ToString(spec.mechanism.kind)) +
+                       " release",
+                   a.release_epsilon);
   std::printf("privacy ledger:\n%s", accountant.Report().c_str());
 
-  std::string randomized_out = flags.GetString("randomized_out", "");
-  if (!randomized_out.empty()) {
-    Status s = mdrr::WriteCsv(randomized, randomized_out);
-    if (!s.ok()) return Fail(s);
-    std::printf("wrote randomized data to %s\n", randomized_out.c_str());
+  if (a.adjustment.has_value()) {
+    std::printf("adjustment: %d iterations, %s (max marginal gap %.3g)\n",
+                a.adjustment->iterations,
+                a.adjustment->converged ? "converged" : "NOT converged",
+                a.adjustment->max_marginal_gap);
   }
-  std::string synthetic_out = flags.GetString("synthetic_out", "");
-  if (!synthetic_out.empty()) {
-    if (!synthetic.ok()) return Fail(synthetic.status());
-    Status s = mdrr::WriteCsv(synthetic.value(), synthetic_out);
-    if (!s.ok()) return Fail(s);
-    std::printf("wrote synthetic data to %s\n", synthetic_out.c_str());
-    if (flags.GetBool("report", false)) {
-      mdrr::eval::UtilityReportOptions report_options;
-      auto report = mdrr::eval::BuildUtilityReport(data, synthetic.value(),
-                                                   report_options);
-      if (!report.ok()) return Fail(report.status());
-      std::printf("utility report (synthetic vs original):\n%s",
-                  report.value().ToString(data).c_str());
-    }
+  if (a.utility.has_value()) {
+    std::printf("utility report (synthetic vs original):\n%s",
+                a.utility->ToString(plan.value().dataset()).c_str());
+  }
+  // Timings go to stderr: stdout stays byte-identical across runs and
+  // thread counts at a fixed seed.
+  for (const release::StageTiming& timing : a.timings) {
+    std::fprintf(stderr, "stage %-10s %8.3fs\n", timing.stage.c_str(),
+                 timing.seconds);
+  }
+  if (!spec.output.randomized_csv.empty()) {
+    std::printf("wrote randomized data to %s\n",
+                spec.output.randomized_csv.c_str());
+  }
+  if (!spec.output.synthetic_csv.empty()) {
+    std::printf("wrote synthetic data to %s\n",
+                spec.output.synthetic_csv.c_str());
+  }
+  if (!spec.output.artifacts_path.empty()) {
+    std::printf("wrote artifacts summary to %s\n",
+                spec.output.artifacts_path.c_str());
   }
   return 0;
 }
