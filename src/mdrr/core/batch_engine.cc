@@ -85,15 +85,22 @@ StatusOr<RrJointResult> BatchPerturbationEngine::RunJoint(
     const Dataset& dataset, const std::vector<size_t>& attributes,
     double epsilon) const {
   RngStreamFamily family(options_.seed);
-  return RunRrJointWith(
-      dataset, attributes, epsilon,
-      [this, &family](const RrMatrix& matrix,
-                      const std::vector<uint32_t>& codes,
-                      size_t /*column_index*/) {
-        return PerturbColumnSharded(matrix, codes, family, /*stream_base=*/1,
-                                    options_.shard_size,
-                                    options_.num_threads);
-      });
+  MDRR_ASSIGN_OR_RETURN(
+      RrJointPerturbation perturbation,
+      PerturbRrJoint(
+          dataset, attributes, epsilon,
+          [this, &family](const RrMatrix& matrix,
+                          const std::vector<uint32_t>& codes,
+                          size_t /*column_index*/) {
+            return PerturbColumnSharded(matrix, codes, family,
+                                        /*stream_base=*/1,
+                                        options_.shard_size,
+                                        options_.num_threads);
+          }));
+  // Estimation never draws randomness, so routing it through the engine's
+  // workers keeps the output bit-identical to the sequential path.
+  return EstimateRrJoint(std::move(perturbation),
+                         EstimationOptions{options_.num_threads});
 }
 
 StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
@@ -109,7 +116,7 @@ StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
       [this, &dataset, &family, num_shards](
           const std::vector<size_t>& cluster, double budget,
           size_t cluster_index) {
-        return RunRrJointWith(
+        return PerturbRrJoint(
             dataset, cluster, budget,
             [this, &family, num_shards, cluster_index](
                 const RrMatrix& matrix, const std::vector<uint32_t>& codes,

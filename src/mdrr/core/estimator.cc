@@ -1,8 +1,11 @@
 #include "mdrr/core/estimator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
+#include "mdrr/linalg/structured.h"
 #include "mdrr/stats/special_functions.h"
 
 namespace mdrr {
@@ -21,8 +24,9 @@ std::vector<double> EmpiricalDistribution(const std::vector<uint32_t>& codes,
 }
 
 StatusOr<std::vector<double>> EstimateDistribution(
-    const RrMatrix& p, const std::vector<double>& lambda_hat) {
-  return p.SolveTranspose(lambda_hat);
+    const RrMatrix& p, const std::vector<double>& lambda_hat,
+    const EstimationOptions& options) {
+  return p.SolveTranspose(lambda_hat, options.num_threads);
 }
 
 std::vector<double> ProjectToSimplex(const std::vector<double>& v) {
@@ -44,14 +48,16 @@ std::vector<double> ProjectToSimplex(const std::vector<double>& v) {
 }
 
 StatusOr<std::vector<double>> EstimateProjectedDistribution(
-    const RrMatrix& p, const std::vector<double>& lambda_hat) {
+    const RrMatrix& p, const std::vector<double>& lambda_hat,
+    const EstimationOptions& options) {
   MDRR_ASSIGN_OR_RETURN(std::vector<double> raw,
-                        EstimateDistribution(p, lambda_hat));
+                        EstimateDistribution(p, lambda_hat, options));
   return ProjectToSimplex(raw);
 }
 
 StatusOr<std::vector<double>> EstimateVariances(
-    const RrMatrix& p, const std::vector<double>& lambda_hat, int64_t n) {
+    const RrMatrix& p, const std::vector<double>& lambda_hat, int64_t n,
+    const EstimationOptions& options) {
   const size_t r = p.size();
   if (lambda_hat.size() != r) {
     return Status::InvalidArgument("lambda size does not match matrix size");
@@ -63,33 +69,74 @@ StatusOr<std::vector<double>> EstimateVariances(
   // column of P⁻¹ (equivalently the solution of Pᵀ q = e_u). With
   // Σ = (diag(λ) - λλᵀ)/n this is
   //   (Σ_v λ_v q_u[v]² - (Σ_v λ_v q_u[v])²) / n.
-  std::vector<double> variances(r);
-  std::vector<double> unit(r, 0.0);
-  for (size_t u = 0; u < r; ++u) {
-    unit[u] = 1.0;
-    MDRR_ASSIGN_OR_RETURN(std::vector<double> q, p.SolveTranspose(unit));
-    unit[u] = 0.0;
-    double second_moment = 0.0;
-    double first_moment = 0.0;
-    for (size_t v = 0; v < r; ++v) {
-      second_moment += lambda_hat[v] * q[v] * q[v];
-      first_moment += lambda_hat[v] * q[v];
+  if (p.is_structured()) {
+    // For P = aI + bJ, q_u[v] = δ_uv/a - c with c = b/(a(a + rb)), so the
+    // two moments collapse to closed forms in λ_u and S = Σ_v λ_v:
+    //   first  = λ_u d - c S            (d = 1/a)
+    //   second = λ_u ((d - c)² - c²) + c² S
+    // O(1) per category, O(r) total, no linear system at all.
+    linalg::UniformMixture shape{r, p.Prob(0, 0),
+                                 r > 1 ? p.Prob(0, 1) : 0.0};
+    MDRR_ASSIGN_OR_RETURN(linalg::UniformMixtureInverse inverse,
+                          shape.ClosedFormInverse());
+    double d = 1.0 / inverse.bulk;
+    double c = shape.off_diagonal / inverse.denominator;
+    double lambda_sum = 0.0;
+    for (double v : lambda_hat) lambda_sum += v;
+    std::vector<double> variances(r);
+    double diag_weight = (d - c) * (d - c) - c * c;
+    double c_sq_sum = c * c * lambda_sum;
+    for (size_t u = 0; u < r; ++u) {
+      double second_moment = lambda_hat[u] * diag_weight + c_sq_sum;
+      double first_moment = lambda_hat[u] * d - c * lambda_sum;
+      double variance = (second_moment - first_moment * first_moment) /
+                        static_cast<double>(n);
+      variances[u] = variance < 0.0 ? 0.0 : variance;  // Round-off guard.
     }
-    variances[u] = (second_moment - first_moment * first_moment) /
-                   static_cast<double>(n);
-    if (variances[u] < 0.0) variances[u] = 0.0;  // Round-off guard.
+    return variances;
+  }
+  // Dense: solve the r unit-vector systems against one factorization,
+  // in bounded batches so the right-hand sides never double the r x r
+  // footprint, then evaluate the moments per category. All writes land
+  // in disjoint per-u slots, so any thread count produces the same bits.
+  constexpr size_t kUnitBatch = 128;
+  std::vector<double> variances(r);
+  for (size_t base = 0; base < r; base += kUnitBatch) {
+    const size_t count = std::min(kUnitBatch, r - base);
+    std::vector<std::vector<double>> units(count,
+                                           std::vector<double>(r, 0.0));
+    for (size_t i = 0; i < count; ++i) units[i][base + i] = 1.0;
+    MDRR_ASSIGN_OR_RETURN(std::vector<std::vector<double>> columns,
+                          p.SolveTransposeMany(units, options.num_threads));
+    ParallelChunks(count, /*chunk_size=*/16, options.num_threads,
+                   [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                       size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       const std::vector<double>& q = columns[i];
+                       double second_moment = 0.0;
+                       double first_moment = 0.0;
+                       for (size_t v = 0; v < r; ++v) {
+                         second_moment += lambda_hat[v] * q[v] * q[v];
+                         first_moment += lambda_hat[v] * q[v];
+                       }
+                       double variance =
+                           (second_moment - first_moment * first_moment) /
+                           static_cast<double>(n);
+                       variances[base + i] = variance < 0.0 ? 0.0 : variance;
+                     }
+                   });
   }
   return variances;
 }
 
 StatusOr<std::vector<double>> EstimateConfidenceHalfWidths(
     const RrMatrix& p, const std::vector<double>& lambda_hat, int64_t n,
-    double alpha) {
+    double alpha, const EstimationOptions& options) {
   if (alpha <= 0.0 || alpha >= 1.0) {
     return Status::InvalidArgument("alpha must be in (0, 1)");
   }
   MDRR_ASSIGN_OR_RETURN(std::vector<double> variances,
-                        EstimateVariances(p, lambda_hat, n));
+                        EstimateVariances(p, lambda_hat, n, options));
   double z = stats::StandardNormalQuantile(
       1.0 - alpha / (2.0 * static_cast<double>(p.size())));
   std::vector<double> half_widths(variances.size());

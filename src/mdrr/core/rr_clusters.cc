@@ -1,5 +1,8 @@
 #include "mdrr/core/rr_clusters.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "mdrr/common/check.h"
 #include "mdrr/common/parallel.h"
 
@@ -66,14 +69,15 @@ StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
       dataset, options, rng,
       [&dataset, &rng](const std::vector<size_t>& cluster, double budget,
                        size_t /*cluster_index*/) {
-        return RunRrJoint(dataset, cluster, budget, rng);
+        return PerturbRrJoint(dataset, cluster, budget,
+                              SequentialPerturber(rng));
       },
-      /*decode_threads=*/1);
+      /*postprocess_threads=*/1);
 }
 
 StatusOr<RrClustersResult> RunRrClustersWith(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
-    const ClusterJointRunner& joint_runner, size_t decode_threads,
+    const ClusterPerturbRunner& perturb_runner, size_t postprocess_threads,
     const DependenceShardingOptions* assessment_sharding) {
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot run RR-Clusters on empty data");
@@ -96,29 +100,63 @@ StatusOr<RrClustersResult> RunRrClustersWith(
   result.dependence_epsilon = dependences.epsilon;
   result.randomized = dataset;
 
+  // Pass 1 -- randomization, cluster by cluster in order: the hook may
+  // draw from a shared sequential Rng, so this pass cannot reorder.
+  std::vector<RrJointPerturbation> perturbations;
+  perturbations.reserve(clusters.size());
   for (size_t c = 0; c < clusters.size(); ++c) {
-    const std::vector<size_t>& cluster = clusters[c];
     double budget =
-        ClusterEpsilonBudget(dataset, cluster, options.keep_probability,
+        ClusterEpsilonBudget(dataset, clusters[c], options.keep_probability,
                              options.use_paper_epsilon_formula);
-    MDRR_ASSIGN_OR_RETURN(RrJointResult joint,
-                          joint_runner(cluster, budget, c));
+    MDRR_ASSIGN_OR_RETURN(RrJointPerturbation perturbation,
+                          perturb_runner(clusters[c], budget, c));
+    perturbations.push_back(std::move(perturbation));
+  }
+
+  // Pass 2 -- Eq. (2) estimation, in parallel across clusters: a pure
+  // function of (matrix, λ̂) per cluster, so the schedule cannot change
+  // the bits. One lone cluster instead gets the backend's within-cluster
+  // parallelism (the blocked LU / batched solves).
+  const size_t num_clusters = clusters.size();
+  std::vector<StatusOr<RrJointResult>> estimated(
+      num_clusters, Status::Internal("cluster estimation did not run"));
+  if (num_clusters == 1) {
+    estimated[0] = EstimateRrJoint(std::move(perturbations[0]),
+                                   EstimationOptions{postprocess_threads});
+  } else {
+    // Split the worker budget: one worker per cluster first, and when
+    // clusters are fewer than workers the remainder goes into each
+    // cluster's backend (blocked LU / batched solves). The split never
+    // changes bits -- the backend is thread-count invariant.
+    const size_t outer_workers =
+        ResolveWorkerCount(postprocess_threads, num_clusters, 1);
+    const size_t total_workers = ResolveWorkerCount(
+        postprocess_threads, std::numeric_limits<size_t>::max(), 1);
+    const size_t inner_threads =
+        std::max<size_t>(1, total_workers / outer_workers);
+    ParallelChunks(num_clusters, /*chunk_size=*/1, postprocess_threads,
+                   [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                       size_t end) {
+                     for (size_t c = begin; c < end; ++c) {
+                       estimated[c] =
+                           EstimateRrJoint(std::move(perturbations[c]),
+                                           EstimationOptions{inner_threads});
+                     }
+                   });
+  }
+
+  // Pass 3 -- accounting and decode, again cluster by cluster (the
+  // epsilon sum is ordered; the row decode shards freely).
+  for (size_t c = 0; c < num_clusters; ++c) {
+    MDRR_ASSIGN_OR_RETURN(RrJointResult joint, std::move(estimated[c]));
+    const std::vector<size_t>& cluster = clusters[c];
     result.release_epsilon += joint.epsilon;
 
-    // Decode the composite randomized codes back into per-attribute
-    // columns of Y. Rows are independent, so the decode shards freely.
     for (size_t position = 0; position < cluster.size(); ++position) {
-      std::vector<uint32_t> column(dataset.num_rows());
-      ParallelChunks(
-          dataset.num_rows(), kDecodeChunkSize, decode_threads,
-          [&joint, &column, position](size_t /*worker*/, size_t /*chunk*/,
-                                      size_t begin, size_t end) {
-            for (size_t row = begin; row < end; ++row) {
-              column[row] = joint.domain.DecodeAt(
-                  joint.randomized_codes[row], position);
-            }
-          });
-      result.randomized.SetColumn(cluster[position], std::move(column));
+      result.randomized.SetColumn(
+          cluster[position],
+          DecodeColumnSharded(joint.domain, joint.randomized_codes, position,
+                              kDecodeChunkSize, postprocess_threads));
     }
     result.cluster_results.push_back(std::move(joint));
   }

@@ -79,24 +79,30 @@ StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
                                          const RrClustersOptions& options,
                                          Rng& rng);
 
-// Runs RR-Joint for one cluster at its epsilon budget. `cluster_index` is
-// the cluster's position in the clustering, so implementations can key
-// disjoint RNG sub-stream ranges off it.
-using ClusterJointRunner = std::function<StatusOr<RrJointResult>(
+// Runs the randomization half of RR-Joint for one cluster at its epsilon
+// budget (PerturbRrJoint or a sharded equivalent). `cluster_index` is the
+// cluster's position in the clustering, so implementations can key
+// disjoint RNG sub-stream ranges off it. Estimation is NOT part of the
+// hook: it draws no randomness, so the frame runs it for all clusters in
+// parallel after the perturbation pass.
+using ClusterPerturbRunner = std::function<StatusOr<RrJointPerturbation>(
     const std::vector<size_t>& cluster, double epsilon_budget,
     size_t cluster_index)>;
 
 // The protocol frame behind RunRrClusters, with the per-cluster joint
-// release pluggable (BatchPerturbationEngine substitutes a sharded
-// runner). `rng` drives the dependence-assessment round;
-// `decode_threads` parallelizes the decode of composite randomized codes
-// back to per-attribute columns (0 = one worker per core; the decode is
-// deterministic at any thread count). When `assessment_sharding` is
-// non-null the dependence round runs through AssessDependencesSharded
-// instead of AssessDependences; not owned.
+// randomization pluggable (BatchPerturbationEngine substitutes a sharded
+// runner). `rng` drives the dependence-assessment round. The
+// perturbation pass visits clusters in order (its RNG transcript is
+// sequential); the deterministic post-passes -- Eq. (2) estimation
+// through the fast backend across clusters, then the decode of composite
+// codes back to per-attribute columns -- shard over `postprocess_threads`
+// workers (0 = one per core) with bit-identical output at any thread
+// count. When `assessment_sharding` is non-null the dependence round
+// runs through AssessDependencesSharded instead of AssessDependences;
+// not owned.
 StatusOr<RrClustersResult> RunRrClustersWith(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
-    const ClusterJointRunner& joint_runner, size_t decode_threads,
+    const ClusterPerturbRunner& perturb_runner, size_t postprocess_threads,
     const DependenceShardingOptions* assessment_sharding = nullptr);
 
 // The RR-Clusters joint-query estimator (independent clusters, estimated

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mdrr/common/status_or.h"
+#include "mdrr/core/estimator.h"
 #include "mdrr/core/perturber.h"
 #include "mdrr/dataset/dataset.h"
 #include "mdrr/dataset/domain.h"
@@ -43,8 +44,10 @@ double ClusterEpsilonBudget(const Dataset& dataset,
                             bool use_paper_formula = false);
 
 // Runs RR-Joint over `attributes` with the optimal matrix at `epsilon`
-// (Section 6.3.2). Fails on empty data, empty attribute set, or a product
-// domain too large to materialize (> 2^31 categories).
+// (Section 6.3.2). Fails on empty data, empty attribute set, a product
+// domain whose size overflows 64 bits (InvalidArgument, detected
+// per-multiply before any allocation), or one too large to materialize
+// (> 2^31 categories; OutOfRange).
 StatusOr<RrJointResult> RunRrJoint(const Dataset& dataset,
                                    const std::vector<size_t>& attributes,
                                    double epsilon, Rng& rng);
@@ -56,6 +59,31 @@ StatusOr<RrJointResult> RunRrJointWith(const Dataset& dataset,
                                        const std::vector<size_t>& attributes,
                                        double epsilon,
                                        const ColumnPerturber& perturber);
+
+// The randomization half of RR-Joint: validation, matrix design, and the
+// perturbation pass -- everything that consumes randomness -- without the
+// Eq. (2) estimation. RR-Clusters uses this to keep the per-cluster RNG
+// transcript sequential while estimation (a pure function of matrix and
+// λ̂) runs in parallel across clusters afterwards.
+struct RrJointPerturbation {
+  std::vector<size_t> attributes;
+  Domain domain;
+  RrMatrix matrix;
+  std::vector<uint32_t> randomized_codes;
+  std::vector<double> lambda;
+};
+
+StatusOr<RrJointPerturbation> PerturbRrJoint(
+    const Dataset& dataset, const std::vector<size_t>& attributes,
+    double epsilon, const ColumnPerturber& perturber);
+
+// The estimation half: Eq. (2) through the fast backend (structured O(r)
+// closed form or blocked parallel LU) plus the Section 6.4 projection and
+// the Expression (4) epsilon. Deterministic: draws no randomness and is
+// bit-identical for any options.num_threads.
+// EstimateRrJoint(PerturbRrJoint(...)) == RunRrJointWith(...).
+StatusOr<RrJointResult> EstimateRrJoint(RrJointPerturbation perturbation,
+                                        const EstimationOptions& options = {});
 
 }  // namespace mdrr
 

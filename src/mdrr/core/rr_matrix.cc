@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
 #include "mdrr/linalg/lu.h"
 
 namespace mdrr {
@@ -179,40 +180,69 @@ double RrMatrix::ConditionNumber() const {
     return structured_->MaxEigenvalue() / min_eig;
   }
   // Power iteration on PᵀP for the largest singular value; inverse power
-  // iteration (via LU solves on PᵀP) for the smallest.
+  // iteration (via LU solves on PᵀP) for the smallest. Both loops stop
+  // early once the norm estimate stops moving in relative terms -- the
+  // common case converges in a handful of iterations, and 200 is only
+  // the pathological-spectrum cap.
+  constexpr int kMaxIterations = 200;
+  constexpr double kRelativeTolerance = 1e-13;
   const linalg::Matrix& p = *dense_;
   linalg::Matrix pt = p.Transpose();
   linalg::Matrix gram = pt.MatMul(p);
   std::vector<double> v(size_, 1.0 / std::sqrt(static_cast<double>(size_)));
   double sigma_max_sq = 0.0;
-  for (int iter = 0; iter < 200; ++iter) {
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
     std::vector<double> w = gram.MatVec(v);
     double norm = 0.0;
     for (double x : w) norm += x * x;
     norm = std::sqrt(norm);
     if (norm == 0.0) break;
     for (size_t i = 0; i < size_; ++i) v[i] = w[i] / norm;
+    double previous = sigma_max_sq;
     sigma_max_sq = norm;
+    if (iter > 0 && std::fabs(norm - previous) <= kRelativeTolerance * norm) {
+      break;
+    }
   }
   auto lu = linalg::LuDecomposition::Factor(gram);
   if (!lu.ok()) return std::numeric_limits<double>::infinity();
   std::vector<double> u(size_, 1.0 / std::sqrt(static_cast<double>(size_)));
   double inv_sigma_min_sq = 0.0;
-  for (int iter = 0; iter < 200; ++iter) {
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
     std::vector<double> w = lu.value().Solve(u);
     double norm = 0.0;
     for (double x : w) norm += x * x;
     norm = std::sqrt(norm);
     if (norm == 0.0) break;
     for (size_t i = 0; i < size_; ++i) u[i] = w[i] / norm;
+    double previous = inv_sigma_min_sq;
     inv_sigma_min_sq = norm;
+    if (iter > 0 && std::fabs(norm - previous) <= kRelativeTolerance * norm) {
+      break;
+    }
   }
   if (inv_sigma_min_sq == 0.0) return std::numeric_limits<double>::infinity();
   return std::sqrt(sigma_max_sq * inv_sigma_min_sq);
 }
 
+const StatusOr<linalg::LuDecomposition>& RrMatrix::TransposeFactors(
+    size_t factor_threads) const {
+  // Factor Pᵀ once, on first use; afterwards every solve is an O(r²)
+  // substitution and never re-materializes the transpose. The blocked
+  // factorization is bit-identical for any thread count, so whichever
+  // caller runs the once-block produces the same cached factors.
+  TransposeLuCell& cell = *transpose_lu_;
+  std::call_once(cell.once, [this, &cell, factor_threads] {
+    linalg::LuOptions options;
+    options.num_threads = factor_threads;
+    cell.factors =
+        linalg::LuDecomposition::Factor(dense_->Transpose(), options);
+  });
+  return cell.factors;
+}
+
 StatusOr<std::vector<double>> RrMatrix::SolveTranspose(
-    const std::vector<double>& b) const {
+    const std::vector<double>& b, size_t factor_threads) const {
   if (b.size() != size_) {
     return Status::InvalidArgument("vector size does not match matrix size");
   }
@@ -220,14 +250,43 @@ StatusOr<std::vector<double>> RrMatrix::SolveTranspose(
     // Structured matrices are symmetric, so Pᵀ = P.
     return structured_->ApplyInverse(b);
   }
-  // Factor Pᵀ once, on first use; afterwards every solve is an O(r²)
-  // substitution and never re-materializes the transpose.
-  TransposeLuCell& cell = *transpose_lu_;
-  std::call_once(cell.once, [this, &cell] {
-    cell.factors = linalg::LuDecomposition::Factor(dense_->Transpose());
-  });
-  if (!cell.factors.ok()) return cell.factors.status();
-  return cell.factors.value().Solve(b);
+  const StatusOr<linalg::LuDecomposition>& factors =
+      TransposeFactors(factor_threads);
+  if (!factors.ok()) return factors.status();
+  return factors.value().Solve(b);
+}
+
+StatusOr<std::vector<std::vector<double>>> RrMatrix::SolveTransposeMany(
+    const std::vector<std::vector<double>>& bs, size_t num_threads) const {
+  for (const std::vector<double>& b : bs) {
+    if (b.size() != size_) {
+      return Status::InvalidArgument("vector size does not match matrix size");
+    }
+  }
+  if (bs.empty()) return std::vector<std::vector<double>>{};
+  if (structured_) {
+    // Surface singularity (and the denormal floor) once, up front; the
+    // per-RHS ApplyInverse calls below then cannot fail.
+    if (auto inverse = structured_->ClosedFormInverse(); !inverse.ok()) {
+      return inverse.status();
+    }
+    std::vector<std::vector<double>> solutions(bs.size());
+    ParallelChunks(bs.size(), /*chunk_size=*/1, num_threads,
+                   [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                       size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       // Cannot fail: sizes and singularity were checked.
+                       auto solved = structured_->ApplyInverse(bs[i]);
+                       MDRR_CHECK(solved.ok());
+                       solutions[i] = std::move(solved).value();
+                     }
+                   });
+    return solutions;
+  }
+  const StatusOr<linalg::LuDecomposition>& factors =
+      TransposeFactors(num_threads);
+  if (!factors.ok()) return factors.status();
+  return factors.value().SolveMany(bs, num_threads);
 }
 
 }  // namespace mdrr

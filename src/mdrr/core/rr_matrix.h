@@ -100,18 +100,27 @@ class RrMatrix {
   // Pmax / Pmin: the eigenvalue-ratio error-propagation bound of
   // Section 2.3. Closed form for structured matrices; dense matrices
   // fall back to the ratio of extreme singular-value estimates obtained
-  // by power iteration.
+  // by power iteration with a relative-change early exit (capped at 200
+  // iterations).
   double ConditionNumber() const;
 
   // Solves Pᵀ x = b -- the core of the Eq. (2) estimator. O(r) for
-  // structured matrices; for dense ones the Pᵀ LU factorization is
-  // computed lazily on the first solve (O(r³); randomize-only matrices
-  // never pay it) and every solve afterwards is an O(r²) substitution
-  // against the cached factors -- e.g. the per-unit-vector variance
-  // loop of EstimateVariances costs O(r³) total instead of O(r⁴).
-  // Thread-safe; copies share the cache. Fails on singular P.
-  StatusOr<std::vector<double>> SolveTranspose(
-      const std::vector<double>& b) const;
+  // structured matrices (no factorization, ever); for dense ones the Pᵀ
+  // LU factorization is computed lazily on the first solve (blocked,
+  // `factor_threads` workers, O(r³); randomize-only matrices never pay
+  // it) and every solve afterwards is an O(r²) substitution against the
+  // cached factors. The blocked factorization is bit-identical for any
+  // thread count, so the shared cache never depends on which caller won
+  // the race. Thread-safe; copies share the cache. Fails on singular P.
+  StatusOr<std::vector<double>> SolveTranspose(const std::vector<double>& b,
+                                               size_t factor_threads = 1) const;
+
+  // Batched Pᵀ x_i = b_i: factors once (dense) or checks singularity once
+  // (structured), then runs the independent per-RHS solves in parallel.
+  // Bit-identical to looping SolveTranspose, for any `num_threads`
+  // (0 = one worker per core). Fails on any size mismatch or singular P.
+  StatusOr<std::vector<std::vector<double>>> SolveTransposeMany(
+      const std::vector<std::vector<double>>& bs, size_t num_threads) const;
 
  private:
   RrMatrix(size_t size, linalg::UniformMixture structured);
@@ -133,6 +142,10 @@ class RrMatrix {
     StatusOr<linalg::LuDecomposition> factors =
         Status::FailedPrecondition("unfactored");
   };
+  // Builds (or reuses) the cached Pᵀ factors. Dense representation only.
+  const StatusOr<linalg::LuDecomposition>& TransposeFactors(
+      size_t factor_threads) const;
+
   std::shared_ptr<TransposeLuCell> transpose_lu_;
 };
 

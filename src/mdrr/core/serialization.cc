@@ -145,14 +145,19 @@ StatusOr<ClusterFactorizationEstimate> MakeEstimateFromSerialized(
   }
   std::vector<Domain> domains;
   for (size_t c = 0; c < estimates.clusters.size(); ++c) {
-    Domain domain =
-        Domain::ForAttributes(schema_source, estimates.clusters[c]);
-    if (domain.size() != estimates.joints[c].size()) {
+    // The cluster list is parsed input: reject a product domain that
+    // overflows 64 bits before the Domain constructor CHECK-aborts.
+    MDRR_ASSIGN_OR_RETURN(
+        uint64_t domain_size,
+        Domain::CheckedSizeForAttributes(schema_source,
+                                         estimates.clusters[c]));
+    if (domain_size != estimates.joints[c].size()) {
       return Status::InvalidArgument(
           "joint size does not match cluster domain (cluster " +
           std::to_string(c) + ")");
     }
-    domains.push_back(std::move(domain));
+    domains.push_back(
+        Domain::ForAttributes(schema_source, estimates.clusters[c]));
   }
   return ClusterFactorizationEstimate(estimates.clusters, std::move(domains),
                                       estimates.joints,

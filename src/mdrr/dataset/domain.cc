@@ -1,8 +1,10 @@
 #include "mdrr/dataset/domain.h"
 
 #include <limits>
+#include <string>
 
 #include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
 
 namespace mdrr {
 
@@ -30,6 +32,26 @@ Domain Domain::ForAttributes(const Dataset& dataset,
     cardinalities.push_back(dataset.attribute(j).cardinality());
   }
   return Domain(std::move(cardinalities));
+}
+
+StatusOr<uint64_t> Domain::CheckedSizeForAttributes(
+    const Dataset& dataset, const std::vector<size_t>& attribute_indices) {
+  uint64_t product = 1;
+  for (size_t i = attribute_indices.size(); i-- > 0;) {
+    uint64_t card = dataset.attribute(attribute_indices[i]).cardinality();
+    if (card == 0) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(attribute_indices[i]) +
+          " has no categories");
+    }
+    if (product > std::numeric_limits<uint64_t>::max() / card) {
+      return Status::InvalidArgument(
+          "product domain over " + std::to_string(attribute_indices.size()) +
+          " attributes overflows 64 bits");
+    }
+    product *= card;
+  }
+  return product;
 }
 
 uint64_t Domain::Encode(const std::vector<uint32_t>& tuple) const {
@@ -75,6 +97,21 @@ std::vector<uint32_t> Domain::ComposeColumns(
     }
   }
   return composite;
+}
+
+std::vector<uint32_t> DecodeColumnSharded(const Domain& domain,
+                                          const std::vector<uint32_t>& codes,
+                                          size_t position, size_t chunk_size,
+                                          size_t num_threads) {
+  std::vector<uint32_t> column(codes.size());
+  ParallelChunks(codes.size(), chunk_size, num_threads,
+                 [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                     size_t end) {
+                   for (size_t row = begin; row < end; ++row) {
+                     column[row] = domain.DecodeAt(codes[row], position);
+                   }
+                 });
+  return column;
 }
 
 std::vector<double> Domain::MarginalizeTo(

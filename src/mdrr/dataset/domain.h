@@ -24,6 +24,16 @@ class Domain {
   static Domain ForAttributes(const Dataset& dataset,
                               const std::vector<size_t>& attribute_indices);
 
+  // Product of the selected attributes' cardinalities, computed in
+  // unsigned 64-bit with per-multiply overflow detection. Returns
+  // InvalidArgument when the product exceeds 2^64 - 1 (or an attribute
+  // has no categories) instead of wrapping or CHECK-aborting, so protocol
+  // size guards can reject oversized requests gracefully *before*
+  // constructing a Domain. Note the accumulation order matches the
+  // constructor's (last position first).
+  static StatusOr<uint64_t> CheckedSizeForAttributes(
+      const Dataset& dataset, const std::vector<size_t>& attribute_indices);
+
   size_t num_positions() const { return cardinalities_.size(); }
   const std::vector<size_t>& cardinalities() const { return cardinalities_; }
 
@@ -62,6 +72,18 @@ class Domain {
   std::vector<uint64_t> strides_;  // strides_[i]: weight of position i.
   uint64_t size_;
 };
+
+// Decodes one position of a column of composite codes into an attribute
+// column, sharded over `num_threads` workers (0 = one per core) in
+// chunks of `chunk_size` rows. The decode draws no randomness and each
+// row writes its own slot, so the output is bit-identical at any thread
+// count; the chunk size is a pure load-balancing grain. The one decode
+// loop shared by the clusters frame, the joint mechanism, and the
+// session controller. Precondition: every code < domain.size().
+std::vector<uint32_t> DecodeColumnSharded(const Domain& domain,
+                                          const std::vector<uint32_t>& codes,
+                                          size_t position, size_t chunk_size,
+                                          size_t num_threads);
 
 }  // namespace mdrr
 

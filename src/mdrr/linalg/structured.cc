@@ -1,5 +1,6 @@
 #include "mdrr/linalg/structured.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mdrr::linalg {
@@ -25,7 +26,30 @@ double UniformMixture::MinEigenvalue() const {
 }
 
 bool UniformMixture::IsSingular(double tolerance) const {
-  return MinEigenvalue() < tolerance;
+  // Magnitude-relative: |min eigenvalue| <= tol * |max eigenvalue|. An
+  // absolute cutoff would pass a badly conditioned matrix at scale 1e8
+  // (min eigenvalue 1, max 1e16) and reject a perfectly conditioned one
+  // at scale 1e-14.
+  double max_eig = MaxEigenvalue();
+  if (max_eig == 0.0) return true;
+  return MinEigenvalue() <= tolerance * max_eig;
+}
+
+StatusOr<UniformMixtureInverse> UniformMixture::ClosedFormInverse() const {
+  if (IsSingular()) {
+    return Status::FailedPrecondition("uniform-mixture matrix is singular");
+  }
+  double a = diagonal - off_diagonal;
+  double principal = a + static_cast<double>(size) * off_diagonal;
+  // The relative test above is scale-invariant, but near the denormal
+  // range a well-conditioned matrix still cannot be inverted in double
+  // precision (v/a overflows, a * principal underflows); keep an
+  // absolute floor for that regime.
+  if (std::fabs(a) < 1e-300 || std::fabs(principal) < 1e-300) {
+    return Status::FailedPrecondition(
+        "uniform-mixture matrix is too small in magnitude to invert");
+  }
+  return UniformMixtureInverse{a, a * principal};
 }
 
 StatusOr<std::vector<double>> UniformMixture::ApplyInverse(
@@ -33,17 +57,15 @@ StatusOr<std::vector<double>> UniformMixture::ApplyInverse(
   if (v.size() != size) {
     return Status::InvalidArgument("vector size does not match matrix size");
   }
-  double a = diagonal - off_diagonal;
-  double principal = a + static_cast<double>(size) * off_diagonal;
-  if (std::fabs(a) < 1e-300 || std::fabs(principal) < 1e-300) {
-    return Status::FailedPrecondition("uniform-mixture matrix is singular");
-  }
+  MDRR_ASSIGN_OR_RETURN(UniformMixtureInverse inverse, ClosedFormInverse());
   double v_sum = 0.0;
   for (double x : v) v_sum += x;
   // (aI + bJ)^{-1} v = v/a - (b * sum(v) / (a * (a + r b))) 1.
-  double correction = off_diagonal * v_sum / (a * principal);
+  double correction = off_diagonal * v_sum / inverse.denominator;
   std::vector<double> result(v.size());
-  for (size_t i = 0; i < v.size(); ++i) result[i] = v[i] / a - correction;
+  for (size_t i = 0; i < v.size(); ++i) {
+    result[i] = v[i] / inverse.bulk - correction;
+  }
   return result;
 }
 
@@ -58,10 +80,21 @@ StatusOr<UniformMixture> DetectUniformMixture(const Matrix& m,
   }
   double diagonal = m(0, 0);
   double off_diagonal = m(0, 1);
+  // Scale the tolerance to the matrix's magnitude, so a matrix at scale
+  // 1e8 is not rejected for 1e-8-relative noise and a matrix at scale
+  // 1e-10 is not "detected" through entry differences as large as the
+  // entries themselves.
+  double max_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      max_abs = std::max(max_abs, std::fabs(m(i, j)));
+    }
+  }
+  double threshold = tolerance * max_abs;
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
       double expected = (i == j) ? diagonal : off_diagonal;
-      if (std::fabs(m(i, j) - expected) > tolerance) {
+      if (std::fabs(m(i, j) - expected) > threshold) {
         return Status::NotFound("matrix does not have uniform-mixture shape");
       }
     }

@@ -19,6 +19,19 @@
 
 namespace mdrr::linalg {
 
+// Parameters of the closed-form inverse of M = aI + bJ:
+// M^{-1} = (1/bulk) I - (b/denominator) J with bulk = a = diagonal -
+// off_diagonal and denominator = a (a + r b). The denominator is stored
+// unreduced so consumers keep their historical floating-point evaluation
+// order (e.g. ApplyInverse's correction term is b * sum(v) / denominator,
+// bit-identical to the pre-split expression). Produced (with all
+// singularity guards applied) by UniformMixture::ClosedFormInverse --
+// the one place the inverse algebra lives.
+struct UniformMixtureInverse {
+  double bulk = 0.0;
+  double denominator = 0.0;
+};
+
 // A symmetric r x r matrix with `diagonal` on the main diagonal and
 // `off_diagonal` everywhere else.
 struct UniformMixture {
@@ -34,15 +47,29 @@ struct UniformMixture {
   double MaxEigenvalue() const;
   double MinEigenvalue() const;
 
+  // True when the smallest eigenvalue modulus is below `tolerance`
+  // *relative to the largest* (a zero matrix is always singular). The
+  // magnitude-relative test keeps the verdict invariant under scaling:
+  // 1e8 * M and 1e-8 * M are singular exactly when M is.
   bool IsSingular(double tolerance = 1e-12) const;
 
-  // Solves M x = v in O(r). Fails if the matrix is singular.
+  // The closed-form inverse constants, guarded: fails if the matrix is
+  // singular (magnitude-relative IsSingular, so near-parallel rows are
+  // rejected instead of dividing by a vanishing bulk eigenvalue) or so
+  // small in magnitude that inversion would overflow/underflow (absolute
+  // 1e-300 floor for the denormal regime).
+  StatusOr<UniformMixtureInverse> ClosedFormInverse() const;
+
+  // Solves M x = v in O(r). Fails exactly when ClosedFormInverse does.
   StatusOr<std::vector<double>> ApplyInverse(
       const std::vector<double>& v) const;
 };
 
-// Detects whether `m` has the uniform-mixture shape (within `tolerance`)
-// and returns the closed-form description if so.
+// Detects whether `m` has the uniform-mixture shape and returns the
+// closed-form description if so. `tolerance` is relative to the largest
+// entry magnitude, so detection is invariant under scaling the matrix:
+// entries must agree to within tolerance * max_ij |m_ij| (exact agreement
+// is required for an all-zero matrix).
 StatusOr<UniformMixture> DetectUniformMixture(const Matrix& m,
                                               double tolerance = 1e-12);
 

@@ -113,6 +113,18 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
   // again in sharded batches. ---
   std::vector<RrMatrix> cluster_matrices;
   for (const std::vector<size_t>& cluster : result.clusters) {
+    // Guard the product domain before constructing it: uint64 overflow
+    // must surface as a Status (not a CHECK-abort), and published codes
+    // are uint32, so oversized clusters get the same cap as RR-Joint.
+    MDRR_ASSIGN_OR_RETURN(
+        uint64_t cluster_domain_size,
+        Domain::CheckedSizeForAttributes(dataset, cluster));
+    if (cluster_domain_size > (1ull << 31)) {
+      return Status::OutOfRange(
+          "cluster joint domain has " +
+          std::to_string(cluster_domain_size) +
+          " categories; too large to publish as composite codes");
+    }
     result.cluster_domains.push_back(
         Domain::ForAttributes(dataset, cluster));
     double budget =

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "mdrr/common/parallel.h"
 #include "mdrr/core/estimator.h"
 #include "mdrr/stats/frequency.h"
 
@@ -40,21 +39,17 @@ StatusOr<std::vector<double>> ControllerPlan::EstimateDistribution(
   stats::FrequencyTable counts = stats::ShardedHistogram(
       codes.size(), num_categories, policy_.shard_size, Threads(),
       [&codes](size_t i) { return codes[i]; });
-  return EstimateProjectedDistribution(matrix, counts.Proportions());
+  // The fast estimation backend is bit-identical at any thread count, so
+  // the policy's workers are a pure speed knob here too.
+  return EstimateProjectedDistribution(matrix, counts.Proportions(),
+                                       EstimationOptions{Threads()});
 }
 
 std::vector<uint32_t> ControllerPlan::DecodeColumn(
     const Domain& domain, const std::vector<uint32_t>& codes,
     size_t position) const {
-  std::vector<uint32_t> column(codes.size());
-  ParallelChunks(codes.size(), policy_.shard_size, Threads(),
-                 [&](size_t /*worker*/, size_t /*chunk*/, size_t begin,
-                     size_t end) {
-                   for (size_t i = begin; i < end; ++i) {
-                     column[i] = domain.DecodeAt(codes[i], position);
-                   }
-                 });
-  return column;
+  return DecodeColumnSharded(domain, codes, position, policy_.shard_size,
+                             Threads());
 }
 
 }  // namespace mdrr::release

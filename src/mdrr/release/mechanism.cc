@@ -132,7 +132,7 @@ class JointMechanism : public Mechanism {
     MDRR_ASSIGN_OR_RETURN(
         RrJointResult result,
         RunRrJoint(dataset, attributes_, Budget(dataset), rng));
-    return FromResult(dataset, std::move(result));
+    return FromResult(dataset, std::move(result), /*decode_threads=*/1);
   }
 
   StatusOr<MechanismOutput> RunSharded(
@@ -141,7 +141,10 @@ class JointMechanism : public Mechanism {
     MDRR_ASSIGN_OR_RETURN(RrJointResult result,
                           engine.RunJoint(dataset, attributes_,
                                           Budget(dataset)));
-    return FromResult(dataset, std::move(result));
+    // The composite-code decode is deterministic at any thread count, so
+    // it rides the engine's workers.
+    return FromResult(dataset, std::move(result),
+                      engine.options().num_threads);
   }
 
  private:
@@ -153,20 +156,22 @@ class JointMechanism : public Mechanism {
   }
 
   static MechanismOutput FromResult(const Dataset& dataset,
-                                    RrJointResult result) {
+                                    RrJointResult result,
+                                    size_t decode_threads) {
     // The joint release publishes composite codes over the selected
     // attributes only; decode them into a dataset over that sub-schema.
+    // Rows are independent, so the decode shards freely (bit-identical
+    // at any thread count).
     std::vector<Attribute> schema;
     schema.reserve(result.attributes.size());
     for (size_t j : result.attributes) schema.push_back(dataset.attribute(j));
     std::vector<std::vector<uint32_t>> columns(result.attributes.size());
     for (size_t position = 0; position < result.attributes.size();
          ++position) {
-      columns[position].resize(result.randomized_codes.size());
-      for (size_t row = 0; row < result.randomized_codes.size(); ++row) {
-        columns[position][row] =
-            result.domain.DecodeAt(result.randomized_codes[row], position);
-      }
+      columns[position] =
+          DecodeColumnSharded(result.domain, result.randomized_codes,
+                              position, /*chunk_size=*/1 << 16,
+                              decode_threads);
     }
 
     MechanismOutput output;
