@@ -4,6 +4,12 @@
 // location to stderr and abort. Use Status (status.h) for errors caused by
 // user input; use these macros for conditions that can only be false when
 // the library itself has a bug.
+//
+// MDRR_DCHECK is the same contract compiled only into debug (!NDEBUG)
+// builds. Use it for per-element checks inside hot loops -- randomization
+// kernels, per-draw preconditions -- where the branch is measurable at
+// millions of records; the surrounding API keeps full MDRR_CHECK
+// validation at batch granularity.
 
 #ifndef MDRR_COMMON_CHECK_H_
 #define MDRR_COMMON_CHECK_H_
@@ -35,5 +41,25 @@ namespace mdrr::internal {
 #define MDRR_CHECK_LE(a, b) MDRR_CHECK((a) <= (b))
 #define MDRR_CHECK_GT(a, b) MDRR_CHECK((a) > (b))
 #define MDRR_CHECK_GE(a, b) MDRR_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+// Never evaluated, but still type-checked so release builds cannot rot
+// the condition or leave its operands unused.
+#define MDRR_DCHECK(condition)       \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(condition);  \
+    }                                \
+  } while (false)
+#else
+#define MDRR_DCHECK(condition) MDRR_CHECK(condition)
+#endif
+
+#define MDRR_DCHECK_EQ(a, b) MDRR_DCHECK((a) == (b))
+#define MDRR_DCHECK_NE(a, b) MDRR_DCHECK((a) != (b))
+#define MDRR_DCHECK_LT(a, b) MDRR_DCHECK((a) < (b))
+#define MDRR_DCHECK_LE(a, b) MDRR_DCHECK((a) <= (b))
+#define MDRR_DCHECK_GT(a, b) MDRR_DCHECK((a) > (b))
+#define MDRR_DCHECK_GE(a, b) MDRR_DCHECK((a) >= (b))
 
 #endif  // MDRR_COMMON_CHECK_H_

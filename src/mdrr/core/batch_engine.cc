@@ -23,7 +23,10 @@ constexpr uint64_t kSyntheticStreamSalt = 0x53594e5448455349ULL;  // "SYNTHESI"
 // Counts are accumulated per *worker* (O(threads x r) memory, not
 // O(shards x r) -- joint domains can be huge) and merged after the join;
 // integer sums commute, so the totals are deterministic even though the
-// shard-to-worker assignment is not.
+// shard-to-worker assignment is not. The inner kernel is the inline
+// RandomizeRangeInto of rr_matrix.h -- the same branch-predictable
+// structured sweep the protocol session's PartyBlock publishes through,
+// with the mixing weight precomputed at matrix construction.
 PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
                                      const std::vector<uint32_t>& input,
                                      const RngStreamFamily& family,

@@ -41,7 +41,10 @@ Dataset PublishRandomizedRound(const Dataset& dataset,
   for (size_t j = 0; j < dataset.num_attributes(); ++j) {
     size_t r = dataset.attribute(j).cardinality();
     RrMatrix matrix = RrMatrix::KeepUniform(r, keep_probability);
-    randomized.SetColumn(j, matrix.RandomizeColumn(dataset.column(j), rng));
+    // In-place rewrite of the copied column: randomized codes are < r by
+    // construction, and no per-attribute column is allocated.
+    matrix.RandomizeColumnInto(dataset.column(j), rng,
+                               randomized.MutableColumn(j));
     *epsilon += matrix.Epsilon();
   }
   return randomized;
@@ -130,6 +133,7 @@ StatusOr<DependenceEstimate> PairwiseRrDependences(const Dataset& dataset,
   double max_pair_epsilon = 0.0;
 
   std::vector<uint32_t> trivial(n, 0);  // Single-category helper column.
+  std::vector<uint32_t> masked;  // Reused across the pair grid.
   for (size_t i = 0; i < m; ++i) {
     deps(i, i) = 1.0;
     const Attribute& a = dataset.attribute(i);
@@ -141,7 +145,7 @@ StatusOr<DependenceEstimate> PairwiseRrDependences(const Dataset& dataset,
           pair_domain.ComposeColumns(dataset, {i, j});
       RrMatrix matrix = RrMatrix::KeepUniform(
           static_cast<size_t>(pair_domain.size()), keep_probability);
-      std::vector<uint32_t> masked = matrix.RandomizeColumn(pair_codes, rng);
+      matrix.RandomizeColumnInto(pair_codes, rng, masked);
       max_pair_epsilon = std::max(max_pair_epsilon, matrix.Epsilon());
 
       // Aggregate the masked pair distribution with the secure sum (one

@@ -8,7 +8,7 @@ ColumnPerturber SequentialPerturber(Rng& rng) {
   return [&rng](const RrMatrix& matrix, const std::vector<uint32_t>& codes,
                 size_t /*column_index*/) {
     PerturbedColumn result;
-    result.codes = matrix.RandomizeColumn(codes, rng);
+    matrix.RandomizeColumnInto(codes, rng, result.codes);
     result.lambda = EmpiricalDistribution(result.codes, matrix.size());
     return result;
   };

@@ -18,8 +18,11 @@ StatusOr<PramResult> ApplyPram(const Dataset& collected,
   for (size_t j = 0; j < m; ++j) {
     const size_t r = collected.attribute(j).cardinality();
     RrMatrix matrix = RrMatrix::KeepUniform(r, keep_probability);
-    result.randomized.SetColumn(
-        j, matrix.RandomizeColumn(collected.column(j), rng));
+    // Randomize straight into the copied column: the output codes are
+    // < r by construction, so the column invariant holds and the
+    // per-attribute pass allocates nothing.
+    matrix.RandomizeColumnInto(collected.column(j), rng,
+                               result.randomized.MutableColumn(j));
     std::vector<double> lambda =
         EmpiricalDistribution(result.randomized.column(j), r);
     MDRR_ASSIGN_OR_RETURN(result.estimated[j],

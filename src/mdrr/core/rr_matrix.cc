@@ -10,7 +10,12 @@
 namespace mdrr {
 
 RrMatrix::RrMatrix(size_t size, linalg::UniformMixture structured)
-    : size_(size), structured_(structured) {}
+    : size_(size),
+      structured_(structured),
+      // The same product the per-draw path historically evaluated, so the
+      // Bernoulli threshold is bit-identical to recomputing it per call.
+      structured_alpha_(static_cast<double>(size) *
+                        structured.off_diagonal) {}
 
 RrMatrix::RrMatrix(size_t size, linalg::Matrix dense)
     : size_(size), dense_(std::move(dense)),
@@ -113,38 +118,19 @@ linalg::Matrix RrMatrix::ToDense() const {
   return *dense_;
 }
 
-uint32_t RrMatrix::Randomize(uint32_t u, Rng& rng) const {
-  MDRR_CHECK_LT(u, size_);
-  if (structured_) {
-    // Row = (1 - alpha) delta_u + alpha Uniform(r) with
-    // alpha = r * off_diagonal.
-    double alpha = static_cast<double>(size_) * structured_->off_diagonal;
-    if (rng.Bernoulli(alpha)) {
-      return static_cast<uint32_t>(rng.UniformInt(size_));
-    }
-    return u;
-  }
-  return static_cast<uint32_t>(row_samplers_[u].Sample(rng));
-}
-
 std::vector<uint32_t> RrMatrix::RandomizeColumn(
     const std::vector<uint32_t>& codes, Rng& rng) const {
-  std::vector<uint32_t> result(codes.size());
-  for (size_t i = 0; i < codes.size(); ++i) {
-    result[i] = Randomize(codes[i], rng);
-  }
+  std::vector<uint32_t> result;
+  RandomizeColumnInto(codes, rng, result);
   return result;
 }
 
-void RrMatrix::RandomizeRangeInto(const std::vector<uint32_t>& codes,
-                                  size_t begin, size_t end, Rng& rng,
-                                  uint32_t* out, int64_t* counts) const {
-  MDRR_CHECK_LE(end, codes.size());
-  for (size_t i = begin; i < end; ++i) {
-    uint32_t y = Randomize(codes[i], rng);
-    out[i] = y;
-    if (counts != nullptr) ++counts[y];
-  }
+void RrMatrix::RandomizeColumnInto(const std::vector<uint32_t>& codes,
+                                   Rng& rng,
+                                   std::vector<uint32_t>& out) const {
+  out.resize(codes.size());
+  RandomizeRangeInto(codes, 0, codes.size(), rng, out.data(),
+                     /*counts=*/nullptr);
 }
 
 double RrMatrix::Epsilon() const {

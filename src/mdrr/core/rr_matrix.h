@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "mdrr/common/check.h"
 #include "mdrr/common/status_or.h"
 #include "mdrr/linalg/lu.h"
 #include "mdrr/linalg/matrix.h"
@@ -75,22 +76,89 @@ class RrMatrix {
   linalg::Matrix ToDense() const;
 
   // Draws Y given X = u. O(1) for structured matrices (one Bernoulli plus
-  // at most one uniform draw), O(1) via alias tables for dense ones.
-  uint32_t Randomize(uint32_t u, Rng& rng) const;
+  // at most one uniform draw, against the mixing weight precomputed at
+  // construction), O(1) via alias tables for dense ones. Inline: this is
+  // the innermost operation of every publication sweep. Precondition
+  // u < size() is checked in debug builds only -- callers own the code
+  // range (protocol code ranges come from Domain/Dataset invariants).
+  uint32_t Randomize(uint32_t u, Rng& rng) const {
+    MDRR_DCHECK_LT(u, size_);
+    if (structured_) {
+      // Row = (1 - alpha) delta_u + alpha Uniform(r).
+      if (rng.Bernoulli(structured_alpha_)) {
+        return static_cast<uint32_t>(rng.UniformInt(size_));
+      }
+      return u;
+    }
+    return static_cast<uint32_t>(row_samplers_[u].Sample(rng));
+  }
 
   // Vectorized Randomize over a whole column of codes.
   std::vector<uint32_t> RandomizeColumn(const std::vector<uint32_t>& codes,
                                         Rng& rng) const;
 
+  // RandomizeColumn into a caller-owned buffer (resized to codes.size()),
+  // so repeated per-round publications reuse one allocation instead of
+  // minting a fresh column each pass. Draw-for-draw identical to
+  // RandomizeColumn.
+  void RandomizeColumnInto(const std::vector<uint32_t>& codes, Rng& rng,
+                           std::vector<uint32_t>& out) const;
+
   // Randomizes codes[begin, end) into out[begin, end) and, if `counts` is
   // non-null, accumulates the frequency of each output category into
   // counts[0, size()). The range form lets shard workers fill disjoint
   // slices of one shared output column without synchronization
-  // (BatchPerturbationEngine). Preconditions: end <= codes.size(), `out`
-  // has room for index end - 1.
+  // (BatchPerturbationEngine, protocol/PartyBlock). Preconditions:
+  // end <= codes.size(), `out` has room for index end - 1.
+  //
+  // Inline, with the structured design split into three branch-predictable
+  // loops keyed off the mixing weight alpha = r * off_diagonal: alpha <= 0
+  // copies (an identity design draws nothing), alpha >= 1 replaces every
+  // code with a uniform draw, and the mixed case decides per element with
+  // one canonical double against the precomputed alpha. The draw sequence
+  // is exactly the per-element Randomize loop's. The range bound is
+  // checked per call; the per-element precondition codes[i] < size() is
+  // debug-only, like Randomize's.
   void RandomizeRangeInto(const std::vector<uint32_t>& codes, size_t begin,
                           size_t end, Rng& rng, uint32_t* out,
-                          int64_t* counts) const;
+                          int64_t* counts) const {
+    MDRR_CHECK_LE(end, codes.size());
+    if (!structured_) {
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t y =
+            static_cast<uint32_t>(row_samplers_[codes[i]].Sample(rng));
+        out[i] = y;
+        if (counts != nullptr) ++counts[y];
+      }
+      return;
+    }
+    const double alpha = structured_alpha_;
+    if (alpha <= 0.0) {  // Identity design: Bernoulli(0) consumes no draw.
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t y = codes[i];
+        MDRR_DCHECK_LT(y, size_);
+        out[i] = y;
+        if (counts != nullptr) ++counts[y];
+      }
+      return;
+    }
+    if (alpha >= 1.0) {  // Uniform replacement: Bernoulli(1), no draw.
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t y = static_cast<uint32_t>(rng.UniformInt(size_));
+        out[i] = y;
+        if (counts != nullptr) ++counts[y];
+      }
+      return;
+    }
+    for (size_t i = begin; i < end; ++i) {
+      MDRR_DCHECK_LT(codes[i], size_);
+      uint32_t y = rng.UniformDouble() < alpha
+                       ? static_cast<uint32_t>(rng.UniformInt(size_))
+                       : codes[i];
+      out[i] = y;
+      if (counts != nullptr) ++counts[y];
+    }
+  }
 
   // The differential privacy level of Expression (4):
   // eps = ln max_v (max_u p_uv / min_u p_uv). +inf if any column contains
@@ -129,6 +197,10 @@ class RrMatrix {
   size_t size_;
   // Exactly one of the two representations is active.
   std::optional<linalg::UniformMixture> structured_;
+  // Structured representation only: the uniform-mixture weight
+  // alpha = size * off_diagonal, hoisted out of the per-element Randomize
+  // so hot loops never recompute it.
+  double structured_alpha_ = 0.0;
   std::optional<linalg::Matrix> dense_;
   // Alias samplers per row (dense representation only).
   std::vector<AliasSampler> row_samplers_;

@@ -61,6 +61,11 @@ void Dataset::SetColumn(size_t j, std::vector<uint32_t> codes) {
   columns_[j] = std::move(codes);
 }
 
+std::vector<uint32_t>& Dataset::MutableColumn(size_t j) {
+  MDRR_CHECK_LT(j, columns_.size());
+  return columns_[j];
+}
+
 Dataset Dataset::Tiled(size_t times) const {
   MDRR_CHECK_GE(times, 1u);
   std::vector<std::vector<uint32_t>> columns(schema_.size());

@@ -45,6 +45,14 @@ class Dataset {
   // Replaces column j (same length as num_rows, codes within cardinality).
   void SetColumn(size_t j, std::vector<uint32_t> codes);
 
+  // In-place write access to column j for zero-allocation rewrite passes
+  // (per-round randomized publications, sharded decode). The caller takes
+  // over SetColumn's invariant: every code written must stay below the
+  // attribute's cardinality, and the column length must not change.
+  // Randomization kernels satisfy this by construction (outputs are drawn
+  // from [0, cardinality)).
+  std::vector<uint32_t>& MutableColumn(size_t j);
+
   // A dataset consisting of this dataset repeated `times` times -- the
   // paper's Adult6 construction (Section 6.5).
   Dataset Tiled(size_t times) const;

@@ -37,6 +37,11 @@ class Domain {
   size_t num_positions() const { return cardinalities_.size(); }
   const std::vector<size_t>& cardinalities() const { return cardinalities_; }
 
+  // Mixed-radix weights: Encode sums strides()[i] * tuple[i], DecodeAt
+  // divides by strides()[position]. Exposed so batched kernels can fuse
+  // encode/decode into their sweeps with identical arithmetic.
+  const std::vector<uint64_t>& strides() const { return strides_; }
+
   // Total number of composite categories (the product).
   uint64_t size() const { return size_; }
 

@@ -1,0 +1,214 @@
+#include "mdrr/protocol/party_block.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "mdrr/common/check.h"
+#include "mdrr/common/parallel.h"
+#include "mdrr/rng/fast_seed.h"
+
+namespace mdrr::protocol {
+
+// Engines live in raw storage and are placement-constructed exactly once
+// (seeded state, no throwaway default seeding); freeing the storage
+// without destructor calls requires triviality.
+static_assert(std::is_trivially_destructible_v<Rng>,
+              "PartyBlock skips Rng destructor calls");
+
+PartyBlock::PartyBlock(const Dataset& dataset, Rng& seeder)
+    : num_parties_(dataset.num_rows()),
+      num_attributes_(dataset.num_attributes()) {
+  // Row-major record copy: round sweeps read all attributes of a party
+  // consecutively, the opposite access pattern of the dataset's columns.
+  records_.resize(num_parties_ * num_attributes_);
+  for (size_t j = 0; j < num_attributes_; ++j) {
+    const std::vector<uint32_t>& column = dataset.column(j);
+    uint32_t* out = records_.data() + j;
+    for (size_t i = 0; i < num_parties_; ++i) {
+      out[i * num_attributes_] = column[i];
+    }
+  }
+  // The serial per-party seed draw -- the part of the transcript that
+  // pins party order -- stays exactly as the Party loop performs it.
+  seeds_.resize(num_parties_);
+  for (size_t i = 0; i < num_parties_; ++i) {
+    seeds_[i] = seeder.engine()();
+  }
+  // The engine array spans ~2.5 KB per party -- hundreds of megabytes at
+  // protocol scale -- and is written exactly once, in the first sweep.
+  // Demand-faulting it 4 KB at a time can dominate that sweep once the
+  // process carries real RSS, so on Linux the block is aligned to the
+  // transparent-huge-page boundary and advised MADV_HUGEPAGE, cutting
+  // the fault count by the 2 MB / 4 KB ratio. Purely advisory: any
+  // kernel refusal leaves plain pages and identical results.
+  constexpr size_t kHugePage = size_t{1} << 21;
+  const size_t bytes = num_parties_ * sizeof(Rng);
+  rng_storage_.reset(new unsigned char[bytes + kHugePage]);
+  uintptr_t raw = reinterpret_cast<uintptr_t>(rng_storage_.get());
+  uintptr_t aligned = (raw + kHugePage - 1) & ~(kHugePage - 1);
+  rngs_ = reinterpret_cast<Rng*>(aligned);
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  madvise(reinterpret_cast<void*>(aligned), bytes, MADV_HUGEPAGE);
+#endif
+}
+
+void PartyBlock::SeedEngineRange(size_t begin, size_t end) {
+  ForEachSeedSequence(seeds_.data() + begin, end - begin,
+                      [this, begin](size_t offset, auto& seq) {
+                        new (static_cast<void*>(rngs_ + begin + offset))
+                            Rng(seq);
+                      });
+}
+
+void PartyBlock::EnsureEnginesSeeded(size_t shard_size, size_t num_threads) {
+  if (engines_seeded_) return;
+  ParallelChunks(num_parties_, shard_size, num_threads,
+                 [this](size_t /*worker*/, size_t /*shard*/, size_t begin,
+                        size_t end) { SeedEngineRange(begin, end); });
+  engines_seeded_ = true;
+}
+
+void PartyBlock::PublishIndependent(
+    const std::vector<RrMatrix>& matrices, size_t shard_size,
+    size_t num_threads, std::vector<std::vector<uint32_t>>* columns) {
+  const size_t m = num_attributes_;
+  MDRR_CHECK_EQ(matrices.size(), m);
+  MDRR_CHECK_EQ(columns->size(), m);
+  std::vector<uint32_t*> column_ptrs(m);
+  for (size_t j = 0; j < m; ++j) {
+    MDRR_CHECK_EQ((*columns)[j].size(), num_parties_);
+    column_ptrs[j] = (*columns)[j].data();
+  }
+  const RrMatrix* mats = matrices.data();
+  const bool seed_now = !engines_seeded_;
+  ParallelChunks(
+      num_parties_, shard_size, num_threads,
+      [&](size_t /*worker*/, size_t /*shard*/, size_t begin, size_t end) {
+        // Seed a lane batch of engines, then publish those parties while
+        // their states are cache-hot; the lane grouping never changes any
+        // party's engine, so the grain stays load-balancing only.
+        size_t group = begin;
+        while (group < end) {
+          size_t group_end = std::min(group + kSeedLanes, end);
+          if (seed_now) SeedEngineRange(group, group_end);
+          for (size_t i = group; i < group_end; ++i) {
+            Rng& rng = rngs_[i];
+            const uint32_t* record = records_.data() + i * m;
+            for (size_t j = 0; j < m; ++j) {
+              column_ptrs[j][i] = mats[j].Randomize(record[j], rng);
+            }
+          }
+          group = group_end;
+        }
+      });
+  engines_seeded_ = true;
+}
+
+ClusterSweepResult PartyBlock::PublishClusters(
+    const AttributeClustering& clusters, const std::vector<Domain>& domains,
+    const std::vector<RrMatrix>& matrices, size_t shard_size,
+    size_t num_threads, bool collect_codes) {
+  const size_t num_clusters = clusters.size();
+  MDRR_CHECK_EQ(domains.size(), num_clusters);
+  MDRR_CHECK_EQ(matrices.size(), num_clusters);
+  EnsureEnginesSeeded(shard_size, num_threads);
+
+  // Flatten the cluster structure so the per-party loop runs over plain
+  // arrays: member attributes with their mixed-radix strides (the encode
+  // weight is also the decode divisor) and per-position cardinalities --
+  // identical arithmetic to Domain::Encode / Domain::DecodeAt.
+  std::vector<size_t> offset(num_clusters);
+  std::vector<size_t> cluster_size(num_clusters);
+  std::vector<uint32_t> member_attr;
+  std::vector<uint64_t> member_stride;  // Encode weight == decode divisor.
+  std::vector<uint64_t> decode_card;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    MDRR_CHECK_EQ(clusters[c].size(), domains[c].num_positions());
+    offset[c] = member_attr.size();
+    cluster_size[c] = clusters[c].size();
+    for (size_t k = 0; k < clusters[c].size(); ++k) {
+      MDRR_CHECK_LT(clusters[c][k], num_attributes_);
+      member_attr.push_back(static_cast<uint32_t>(clusters[c][k]));
+      member_stride.push_back(domains[c].strides()[k]);
+      decode_card.push_back(domains[c].cardinalities()[k]);
+    }
+  }
+
+  ClusterSweepResult result;
+  result.codes.resize(collect_codes ? num_clusters : 0);
+  result.decoded.resize(num_clusters);
+  std::vector<uint32_t*> code_ptr(num_clusters, nullptr);
+  std::vector<uint32_t*> decoded_ptr(member_attr.size());
+  for (size_t c = 0; c < num_clusters; ++c) {
+    if (collect_codes) {
+      result.codes[c].resize(num_parties_);
+      code_ptr[c] = result.codes[c].data();
+    }
+    result.decoded[c].resize(cluster_size[c]);
+    for (size_t k = 0; k < cluster_size[c]; ++k) {
+      result.decoded[c][k].resize(num_parties_);
+      decoded_ptr[offset[c] + k] = result.decoded[c][k].data();
+    }
+  }
+
+  // Per-worker count buffers (integer merges commute, so worker totals
+  // reduce to the same histogram any sharded count produces).
+  const size_t workers =
+      ResolveWorkerCount(num_threads, num_parties_, shard_size);
+  std::vector<std::vector<std::vector<int64_t>>> worker_counts(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    worker_counts[w].resize(num_clusters);
+    for (size_t c = 0; c < num_clusters; ++c) {
+      worker_counts[w][c].assign(matrices[c].size(), 0);
+    }
+  }
+
+  const RrMatrix* mats = matrices.data();
+  const size_t m = num_attributes_;
+  ParallelChunks(
+      num_parties_, shard_size, num_threads,
+      [&](size_t worker, size_t /*shard*/, size_t begin, size_t end) {
+        std::vector<std::vector<int64_t>>& counts = worker_counts[worker];
+        for (size_t i = begin; i < end; ++i) {
+          Rng& rng = rngs_[i];
+          const uint32_t* record = records_.data() + i * m;
+          for (size_t c = 0; c < num_clusters; ++c) {
+            const size_t off = offset[c];
+            const size_t width = cluster_size[c];
+            uint64_t code = 0;
+            for (size_t k = 0; k < width; ++k) {
+              code += member_stride[off + k] * record[member_attr[off + k]];
+            }
+            uint32_t published =
+                mats[c].Randomize(static_cast<uint32_t>(code), rng);
+            if (code_ptr[c] != nullptr) code_ptr[c][i] = published;
+            ++counts[c][published];
+            for (size_t k = 0; k < width; ++k) {
+              decoded_ptr[off + k][i] = static_cast<uint32_t>(
+                  (static_cast<uint64_t>(published) / member_stride[off + k]) %
+                  decode_card[off + k]);
+            }
+          }
+        }
+      });
+
+  result.counts.resize(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    result.counts[c].assign(matrices[c].size(), 0);
+    for (size_t w = 0; w < workers; ++w) {
+      const std::vector<int64_t>& partial = worker_counts[w][c];
+      for (size_t y = 0; y < partial.size(); ++y) {
+        result.counts[c][y] += partial[y];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mdrr::protocol

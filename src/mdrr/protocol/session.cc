@@ -5,7 +5,9 @@
 
 #include "mdrr/common/check.h"
 #include "mdrr/common/parallel.h"
+#include "mdrr/protocol/party_block.h"
 #include "mdrr/release/planner.h"
+#include "mdrr/stats/frequency.h"
 
 namespace mdrr::protocol {
 
@@ -41,26 +43,69 @@ std::vector<uint32_t> Party::PublishClusters(
   return published;
 }
 
-StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
-                                              const SessionOptions& options) {
+namespace {
+
+// --- Stage helpers shared by both execution paths, so the published
+// matrices, domains and epsilon accounting are identical by construction.
+// ---
+
+// The round-1 per-attribute designs of Section 4.1, accumulating the
+// round's epsilon into `result`.
+std::vector<RrMatrix> DesignRound1Matrices(const Dataset& dataset,
+                                           const SessionOptions& options,
+                                           SessionResult* result) {
+  const size_t m = dataset.num_attributes();
+  std::vector<RrMatrix> matrices;
+  matrices.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    matrices.push_back(RrMatrix::KeepUniform(
+        dataset.attribute(j).cardinality(), options.round1_keep_probability));
+    result->round1_epsilon += matrices.back().Epsilon();
+  }
+  return matrices;
+}
+
+// The round-2 cluster domains and Section 6.3.2-calibrated designs,
+// populating result->cluster_domains and round2_epsilon. Guards the
+// product domain before constructing it: uint64 overflow must surface as
+// a Status (not a CHECK-abort), and published codes are uint32, so
+// oversized clusters get the same cap as RR-Joint.
+StatusOr<std::vector<RrMatrix>> DesignClusterMatrices(
+    const Dataset& dataset, const SessionOptions& options,
+    SessionResult* result) {
+  std::vector<RrMatrix> matrices;
+  for (const std::vector<size_t>& cluster : result->clusters) {
+    MDRR_ASSIGN_OR_RETURN(
+        uint64_t cluster_domain_size,
+        Domain::CheckedSizeForAttributes(dataset, cluster));
+    if (cluster_domain_size > (1ull << 31)) {
+      return Status::OutOfRange(
+          "cluster joint domain has " +
+          std::to_string(cluster_domain_size) +
+          " categories; too large to publish as composite codes");
+    }
+    result->cluster_domains.push_back(
+        Domain::ForAttributes(dataset, cluster));
+    double budget =
+        ClusterEpsilonBudget(dataset, cluster, options.keep_probability);
+    matrices.push_back(RrMatrix::OptimalForEpsilon(
+        static_cast<size_t>(result->cluster_domains.back().size()), budget));
+    result->round2_epsilon += matrices.back().Epsilon();
+  }
+  return matrices;
+}
+
+// --- Reference semantics: one Party object per respondent. The batched
+// fast path below is golden-tested against this loop
+// (tests/session_fast_path_test.cc), so its structure deliberately stays
+// the straightforward reading of the paper's message flow. ---
+StatusOr<SessionResult> RunPartyLoopSession(
+    const Dataset& dataset, const SessionOptions& options,
+    const release::ControllerPlan& controller) {
   const size_t n = dataset.num_rows();
   const size_t m = dataset.num_attributes();
-  if (n == 0) {
-    return Status::InvalidArgument("a session needs at least one party");
-  }
   const size_t shard_size = std::max<size_t>(1, options.shard_size);
   const size_t threads = options.num_threads;
-
-  // The controller's stage work (dependence assessment, Algorithm 1,
-  // Eq. (2) estimation, decode) goes through the release layer's
-  // controller plan under one execution policy; the sharded primitives
-  // it routes to are bit-identical for any thread count.
-  MDRR_ASSIGN_OR_RETURN(
-      release::ControllerPlan controller,
-      release::ReleasePlanner::PlanController(
-          options.clustering,
-          release::ExecutionPolicy{release::PolicyKind::kSharded,
-                                   options.seed, threads, shard_size}));
 
   // Instantiate the parties. Seeds are drawn serially (the seed sequence
   // is part of the session transcript); after that each party's
@@ -79,13 +124,8 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
 
   // --- Round 1: per-attribute randomized publication (Section 4.1),
   // parties publishing in sharded batches. ---
-  std::vector<RrMatrix> round1_matrices;
-  round1_matrices.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    round1_matrices.push_back(RrMatrix::KeepUniform(
-        dataset.attribute(j).cardinality(), options.round1_keep_probability));
-    result.round1_epsilon += round1_matrices.back().Epsilon();
-  }
+  std::vector<RrMatrix> round1_matrices =
+      DesignRound1Matrices(dataset, options, &result);
   std::vector<std::vector<uint32_t>> round1_columns(
       m, std::vector<uint32_t>(n));
   ParallelChunks(n, shard_size, threads,
@@ -111,28 +151,9 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
 
   // --- Round 2: cluster-wise publication (Section 6.3.2 calibration),
   // again in sharded batches. ---
-  std::vector<RrMatrix> cluster_matrices;
-  for (const std::vector<size_t>& cluster : result.clusters) {
-    // Guard the product domain before constructing it: uint64 overflow
-    // must surface as a Status (not a CHECK-abort), and published codes
-    // are uint32, so oversized clusters get the same cap as RR-Joint.
-    MDRR_ASSIGN_OR_RETURN(
-        uint64_t cluster_domain_size,
-        Domain::CheckedSizeForAttributes(dataset, cluster));
-    if (cluster_domain_size > (1ull << 31)) {
-      return Status::OutOfRange(
-          "cluster joint domain has " +
-          std::to_string(cluster_domain_size) +
-          " categories; too large to publish as composite codes");
-    }
-    result.cluster_domains.push_back(
-        Domain::ForAttributes(dataset, cluster));
-    double budget =
-        ClusterEpsilonBudget(dataset, cluster, options.keep_probability);
-    cluster_matrices.push_back(RrMatrix::OptimalForEpsilon(
-        static_cast<size_t>(result.cluster_domains.back().size()), budget));
-    result.round2_epsilon += cluster_matrices.back().Epsilon();
-  }
+  MDRR_ASSIGN_OR_RETURN(
+      std::vector<RrMatrix> cluster_matrices,
+      DesignClusterMatrices(dataset, options, &result));
   const size_t num_clusters = result.clusters.size();
   std::vector<std::vector<uint32_t>> cluster_codes(
       num_clusters, std::vector<uint32_t>(n));
@@ -171,6 +192,90 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
     }
   }
   return result;
+}
+
+// --- Batched fast path: the same protocol as columnar sweeps over a
+// PartyBlock. Publications, clustering input, counts, decode, epsilons
+// and message accounting are all bit-identical to the Party loop. ---
+StatusOr<SessionResult> RunBatchedSession(
+    const Dataset& dataset, const SessionOptions& options,
+    const release::ControllerPlan& controller) {
+  const size_t n = dataset.num_rows();
+  const size_t m = dataset.num_attributes();
+  const size_t shard_size = std::max<size_t>(1, options.shard_size);
+  const size_t threads = options.num_threads;
+
+  Rng seeder(options.seed);
+  PartyBlock parties(dataset, seeder);
+
+  SessionResult result;
+
+  // Round 1: engines are lane-seeded and publish in one fused sweep.
+  std::vector<RrMatrix> round1_matrices =
+      DesignRound1Matrices(dataset, options, &result);
+  std::vector<std::vector<uint32_t>> round1_columns(
+      m, std::vector<uint32_t>(n));
+  parties.PublishIndependent(round1_matrices, shard_size, threads,
+                             &round1_columns);
+  Dataset round1_data(dataset.schema(), std::move(round1_columns));
+  result.messages_round1 = n;
+
+  MDRR_ASSIGN_OR_RETURN(result.clusters,
+                        controller.AssessAndCluster(round1_data));
+  result.messages_broadcast = n;
+
+  // Round 2: one sweep publishes the composite codes and fuses the
+  // controller's counting and per-position decode into the same pass.
+  MDRR_ASSIGN_OR_RETURN(
+      std::vector<RrMatrix> cluster_matrices,
+      DesignClusterMatrices(dataset, options, &result));
+  ClusterSweepResult sweep = parties.PublishClusters(
+      result.clusters, result.cluster_domains, cluster_matrices, shard_size,
+      threads);
+  result.messages_round2 = n;
+
+  // Controller: Eq. (2) estimation straight from the fused counts (equal
+  // to a post-hoc sharded histogram of the codes), decoded columns moved
+  // into the release.
+  result.randomized = dataset;
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    MDRR_ASSIGN_OR_RETURN(
+        std::vector<double> estimated,
+        controller.EstimateFromCounts(
+            cluster_matrices[c],
+            stats::FrequencyTable(std::move(sweep.counts[c]))));
+    result.cluster_joints.push_back(std::move(estimated));
+    for (size_t position = 0; position < result.clusters[c].size();
+         ++position) {
+      result.randomized.SetColumn(result.clusters[c][position],
+                                  std::move(sweep.decoded[c][position]));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
+                                              const SessionOptions& options) {
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("a session needs at least one party");
+  }
+  // The controller's stage work (dependence assessment, Algorithm 1,
+  // Eq. (2) estimation, decode) goes through the release layer's
+  // controller plan under one execution policy; the sharded primitives
+  // it routes to are bit-identical for any thread count.
+  MDRR_ASSIGN_OR_RETURN(
+      release::ControllerPlan controller,
+      release::ReleasePlanner::PlanController(
+          options.clustering,
+          release::ExecutionPolicy{release::PolicyKind::kSharded,
+                                   options.seed, options.num_threads,
+                                   std::max<size_t>(1, options.shard_size)}));
+  if (options.execution == SessionExecution::kPartyLoop) {
+    return RunPartyLoopSession(dataset, options, controller);
+  }
+  return RunBatchedSession(dataset, options, controller);
 }
 
 }  // namespace mdrr::protocol

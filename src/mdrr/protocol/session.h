@@ -57,6 +57,20 @@ class Party {
   Rng rng_;
 };
 
+// How the party side of the session is executed. Both produce the same
+// transcript, bit for bit; pick by cost.
+enum class SessionExecution {
+  // The fast path (default): parties stored columnar in a PartyBlock,
+  // engines lane-seeded in sharded batches, rounds executed as
+  // zero-allocation sweeps with counting and composite-code decode fused
+  // into the round-2 pass. Several times faster per party; identical
+  // output.
+  kBatched,
+  // The reference semantics: one Party object per respondent, rounds as
+  // per-party calls. The batched path is golden-tested against this.
+  kPartyLoop,
+};
+
 struct SessionOptions {
   double keep_probability = 0.7;
   ClusteringOptions clustering;
@@ -72,6 +86,8 @@ struct SessionOptions {
   // Parties per publication batch (the work-distribution grain; never
   // changes results).
   size_t shard_size = 1 << 16;
+  // Execution strategy for the party side; never changes results.
+  SessionExecution execution = SessionExecution::kBatched;
 };
 
 struct SessionResult {
@@ -94,7 +110,10 @@ struct SessionResult {
 
 // Runs the full two-round session over the parties implied by `dataset`
 // (row i becomes party i). The dataset is used only to seed the parties'
-// private records; the controller path never touches it.
+// private records; the controller path never touches it. The transcript
+// (publications, clustering, estimates, decoded release, epsilons,
+// message counts) is a pure function of (dataset, options.seed):
+// execution mode, thread count, and shard grain never change it.
 StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
                                               const SessionOptions& options);
 

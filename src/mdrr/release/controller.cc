@@ -36,9 +36,14 @@ StatusOr<AttributeClustering> ControllerPlan::AssessAndCluster(
 StatusOr<std::vector<double>> ControllerPlan::EstimateDistribution(
     const RrMatrix& matrix, const std::vector<uint32_t>& codes,
     size_t num_categories) const {
-  stats::FrequencyTable counts = stats::ShardedHistogram(
-      codes.size(), num_categories, policy_.shard_size, Threads(),
-      [&codes](size_t i) { return codes[i]; });
+  return EstimateFromCounts(
+      matrix, stats::ShardedHistogram(
+                  codes.size(), num_categories, policy_.shard_size, Threads(),
+                  [&codes](size_t i) { return codes[i]; }));
+}
+
+StatusOr<std::vector<double>> ControllerPlan::EstimateFromCounts(
+    const RrMatrix& matrix, const stats::FrequencyTable& counts) const {
   // The fast estimation backend is bit-identical at any thread count, so
   // the policy's workers are a pure speed knob here too.
   return EstimateProjectedDistribution(matrix, counts.Proportions(),

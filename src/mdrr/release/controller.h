@@ -24,6 +24,7 @@
 #include "mdrr/dataset/dataset.h"
 #include "mdrr/dataset/domain.h"
 #include "mdrr/release/spec.h"
+#include "mdrr/stats/frequency.h"
 
 namespace mdrr::release {
 
@@ -46,6 +47,14 @@ class ControllerPlan {
   StatusOr<std::vector<double>> EstimateDistribution(
       const RrMatrix& matrix, const std::vector<uint32_t>& codes,
       size_t num_categories) const;
+
+  // Eq. (2) projected estimate from an already-counted publication --
+  // the entry point for sweeps that fuse counting into the randomization
+  // pass (protocol/PartyBlock). EstimateDistribution is exactly
+  // ShardedHistogram + this call, so callers arriving with equal counts
+  // get bit-identical estimates under the plan's policy.
+  StatusOr<std::vector<double>> EstimateFromCounts(
+      const RrMatrix& matrix, const stats::FrequencyTable& counts) const;
 
   // Decodes one position of published composite codes into an attribute
   // column (deterministic at any thread count).

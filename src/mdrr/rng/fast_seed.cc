@@ -1,0 +1,189 @@
+#include "mdrr/rng/fast_seed.h"
+
+namespace mdrr {
+
+namespace {
+
+// Parameters of [rand.util.seedseq] generate() for an n = 624 request
+// with s = 4 entropy words: t = 11, p = 306, q = 317, m = max(s+1, n).
+constexpr size_t kN = kEngineSeedWords;
+constexpr size_t kP = 306;
+constexpr size_t kQ = 317;
+
+inline uint32_t Mix(uint32_t x) { return x ^ (x >> 27); }
+
+}  // namespace
+
+FourWordSeedSeq::FourWordSeedSeq(uint64_t seed) {
+  uint64_t state = seed;
+  // Braced seed_seq construction evaluates left to right; keep that order.
+  for (uint32_t& word : entropy_) {
+    word = static_cast<uint32_t>(SplitMix64Next(state));
+  }
+}
+
+void FourWordSeedSeq::GenerateEngineWords(
+    uint32_t out[kEngineSeedWords]) const {
+  uint32_t b[kN];
+  for (size_t i = 0; i < kN; ++i) b[i] = 0x8b8b8b8bu;
+
+  // First pass: b[k+p] += r1, b[k+q] += r2, b[k] = r2. b[(k-1) % n] is
+  // always the previous iteration's r2 (no other write can land on it in
+  // between: k+p and k+q are never congruent to k-1 mod n), so it rides
+  // in `prev` instead of a load.
+  uint32_t prev = b[kN - 1];
+  for (size_t k = 0; k <= 4; ++k) {  // Entropy-carrying head.
+    uint32_t r1 = 1664525u * Mix(b[k] ^ b[k + kP] ^ prev);
+    uint32_t r2 =
+        r1 + (k == 0 ? 4u : static_cast<uint32_t>(k) + entropy_[k - 1]);
+    b[k + kP] += r1;
+    b[k + kQ] += r2;
+    b[k] = r2;
+    prev = r2;
+  }
+  for (size_t k = 5; k < kN - kQ; ++k) {  // Neither index wrapped.
+    uint32_t r1 = 1664525u * Mix(b[k] ^ b[k + kP] ^ prev);
+    uint32_t r2 = r1 + static_cast<uint32_t>(k);
+    b[k + kP] += r1;
+    b[k + kQ] += r2;
+    b[k] = r2;
+    prev = r2;
+  }
+  for (size_t k = kN - kQ; k < kN - kP; ++k) {  // k+q wrapped.
+    uint32_t r1 = 1664525u * Mix(b[k] ^ b[k + kP] ^ prev);
+    uint32_t r2 = r1 + static_cast<uint32_t>(k);
+    b[k + kP] += r1;
+    b[k + kQ - kN] += r2;
+    b[k] = r2;
+    prev = r2;
+  }
+  for (size_t k = kN - kP; k < kN; ++k) {  // Both wrapped.
+    uint32_t r1 = 1664525u * Mix(b[k] ^ b[k + kP - kN] ^ prev);
+    uint32_t r2 = r1 + static_cast<uint32_t>(k);
+    b[k + kP - kN] += r1;
+    b[k + kQ - kN] += r2;
+    b[k] = r2;
+    prev = r2;
+  }
+
+  // Second pass: b[k+p] ^= r3, b[k+q] ^= r4, b[k] = r4, with k counting
+  // m..m+n-1 in standard terms (k mod n below). `prev` hands over from
+  // the first pass: b[n-1] was last assigned at first-pass k = n-1.
+  for (size_t k = 0; k < kN - kQ; ++k) {
+    uint32_t r3 = 1566083941u * Mix(b[k] + b[k + kP] + prev);
+    uint32_t r4 = r3 - static_cast<uint32_t>(k);
+    b[k + kP] ^= r3;
+    b[k + kQ] ^= r4;
+    b[k] = r4;
+    prev = r4;
+  }
+  for (size_t k = kN - kQ; k < kN - kP; ++k) {
+    uint32_t r3 = 1566083941u * Mix(b[k] + b[k + kP] + prev);
+    uint32_t r4 = r3 - static_cast<uint32_t>(k);
+    b[k + kP] ^= r3;
+    b[k + kQ - kN] ^= r4;
+    b[k] = r4;
+    prev = r4;
+  }
+  for (size_t k = kN - kP; k < kN; ++k) {
+    uint32_t r3 = 1566083941u * Mix(b[k] + b[k + kP - kN] + prev);
+    uint32_t r4 = r3 - static_cast<uint32_t>(k);
+    b[k + kP - kN] ^= r3;
+    b[k + kQ - kN] ^= r4;
+    b[k] = r4;
+    prev = r4;
+  }
+
+  for (size_t i = 0; i < kN; ++i) out[i] = b[i];
+}
+
+void GenerateSeedBlock(const uint64_t seeds[kSeedLanes], uint32_t* out) {
+  constexpr size_t L = kSeedLanes;
+  // Lane-major SoA work set: b[i][l] is word i of lane l. Every step
+  // below is an elementwise loop over L lanes with no cross-lane data
+  // flow, which the compiler turns into vector ops; the recurrence's
+  // serial dependency chains (one per lane) run side by side.
+  alignas(64) uint32_t b[kN][L];
+  alignas(64) uint32_t prev[L];
+  alignas(64) uint32_t entropy[4][L];
+  for (size_t l = 0; l < L; ++l) {
+    uint64_t state = seeds[l];
+    for (size_t w = 0; w < 4; ++w) {
+      entropy[w][l] = static_cast<uint32_t>(SplitMix64Next(state));
+    }
+  }
+  for (size_t i = 0; i < kN; ++i) {
+    for (size_t l = 0; l < L; ++l) b[i][l] = 0x8b8b8b8bu;
+  }
+  for (size_t l = 0; l < L; ++l) prev[l] = 0x8b8b8b8bu;
+
+  auto pass1 = [&](size_t k, size_t kp, size_t kq, const uint32_t* extra) {
+    for (size_t l = 0; l < L; ++l) {
+      uint32_t x = b[k][l] ^ b[kp][l] ^ prev[l];
+      uint32_t r1 = 1664525u * Mix(x);
+      uint32_t r2 = r1 + extra[l];
+      b[kp][l] += r1;
+      b[kq][l] += r2;
+      b[k][l] = r2;
+      prev[l] = r2;
+    }
+  };
+  uint32_t extra[L];
+  {
+    for (size_t l = 0; l < L; ++l) extra[l] = 4u;
+    pass1(0, kP, kQ, extra);
+  }
+  for (size_t k = 1; k <= 4; ++k) {
+    for (size_t l = 0; l < L; ++l) {
+      extra[l] = static_cast<uint32_t>(k) + entropy[k - 1][l];
+    }
+    pass1(k, k + kP, k + kQ, extra);
+  }
+  auto pass1_plain = [&](size_t k, size_t kp, size_t kq) {
+    for (size_t l = 0; l < L; ++l) {
+      uint32_t x = b[k][l] ^ b[kp][l] ^ prev[l];
+      uint32_t r1 = 1664525u * Mix(x);
+      uint32_t r2 = r1 + static_cast<uint32_t>(k);
+      b[kp][l] += r1;
+      b[kq][l] += r2;
+      b[k][l] = r2;
+      prev[l] = r2;
+    }
+  };
+  for (size_t k = 5; k < kN - kQ; ++k) pass1_plain(k, k + kP, k + kQ);
+  for (size_t k = kN - kQ; k < kN - kP; ++k) {
+    pass1_plain(k, k + kP, k + kQ - kN);
+  }
+  for (size_t k = kN - kP; k < kN; ++k) {
+    pass1_plain(k, k + kP - kN, k + kQ - kN);
+  }
+
+  auto pass2 = [&](size_t k, size_t kp, size_t kq) {
+    for (size_t l = 0; l < L; ++l) {
+      uint32_t x = b[k][l] + b[kp][l] + prev[l];
+      uint32_t r3 = 1566083941u * Mix(x);
+      uint32_t r4 = r3 - static_cast<uint32_t>(k);
+      b[kp][l] ^= r3;
+      b[kq][l] ^= r4;
+      b[k][l] = r4;
+      prev[l] = r4;
+    }
+  };
+  for (size_t k = 0; k < kN - kQ; ++k) pass2(k, k + kP, k + kQ);
+  for (size_t k = kN - kQ; k < kN - kP; ++k) pass2(k, k + kP, k + kQ - kN);
+  for (size_t k = kN - kP; k < kN; ++k) {
+    pass2(k, k + kP - kN, k + kQ - kN);
+  }
+
+  for (size_t i = 0; i < kN; ++i) {
+    for (size_t l = 0; l < L; ++l) out[l * kN + i] = b[i][l];
+  }
+}
+
+void SeedRngRange(const uint64_t* seeds, size_t count, Rng* out) {
+  ForEachSeedSequence(seeds, count, [out](size_t i, auto& seq) {
+    out[i].engine().seed(seq);
+  });
+}
+
+}  // namespace mdrr

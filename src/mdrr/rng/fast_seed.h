@@ -1,0 +1,144 @@
+// Fast, bit-exact mt19937_64 seeding.
+//
+// Rng(seed) has always meant "mt19937_64 seeded from
+// std::seed_seq{SplitMix64 x 4}", and every transcript the library
+// publishes inherits that contract, so seeding cannot change behavior --
+// but it can change cost. The [rand.util.seedseq] generate() algorithm is
+// specified exactly by the standard, which makes two optimizations legal:
+//
+//   * FourWordSeedSeq runs the standard recurrence with the previous
+//     word carried in a register and each pass split at its two wrap
+//     boundaries, so the hot loops are branch-free and allocation-free.
+//   * GenerateSeedBlock runs kSeedLanes independent seed expansions at
+//     once in lane-major layout; the recurrence has no data-dependent
+//     control flow, so every step is an elementwise op over kSeedLanes
+//     words that the compiler vectorizes, and the per-seed dependency
+//     chains overlap. Per-engine seeding drops several-fold, which is
+//     what makes simulating 10^5..10^6 protocol parties (one engine
+//     each) affordable -- see protocol/PartyBlock.
+//
+// Both paths are golden-tested against std::seed_seq in
+// tests/session_fast_path_test.cc; any divergence is a test failure, not
+// a silent transcript change.
+
+#ifndef MDRR_RNG_FAST_SEED_H_
+#define MDRR_RNG_FAST_SEED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+
+#include "mdrr/rng/rng.h"
+
+namespace mdrr {
+
+// The number of 32-bit words an mt19937_64 requests when seeded from a
+// seed sequence (312 state words x 2 words each).
+inline constexpr size_t kEngineSeedWords = 624;
+
+// Engines seeded per GenerateSeedBlock call.
+inline constexpr size_t kSeedLanes = 8;
+
+// Drop-in replacement for the library's historical engine seeding
+// sequence std::seed_seq{SplitMix64Next(s) x 4}: generate() output is
+// bit-identical for every request length, by the exactness of the
+// [rand.util.seedseq] specification.
+class FourWordSeedSeq {
+ public:
+  // Expands `seed` through SplitMix64 into the four entropy words, the
+  // same expansion Rng(seed) has always used. (std::seed_seq stores its
+  // inputs mod 2^32, hence the uint32_t entropy.)
+  explicit FourWordSeedSeq(uint64_t seed);
+
+  using result_type = uint32_t;
+  size_t size() const { return 4; }
+
+  template <typename It>
+  void generate(It begin, It end) {
+    if (end - begin == static_cast<ptrdiff_t>(kEngineSeedWords)) {
+      uint32_t buffer[kEngineSeedWords];
+      GenerateEngineWords(buffer);
+      for (size_t i = 0; i < kEngineSeedWords; ++i, ++begin) {
+        *begin = buffer[i];
+      }
+      return;
+    }
+    GenerateGeneric(begin, end);
+  }
+
+  // The specialized 624-word expansion (the mt19937_64 request).
+  void GenerateEngineWords(uint32_t out[kEngineSeedWords]) const;
+
+ private:
+  // Any other request length is off the hot path (an mt19937_64 always
+  // asks for 624 words), so delegate to std::seed_seq itself -- correct
+  // by construction for hypothetical non-mt19937_64 consumers.
+  template <typename It>
+  void GenerateGeneric(It begin, It end) const {
+    std::seed_seq seq(entropy_, entropy_ + 4);
+    seq.generate(begin, end);
+  }
+
+  uint32_t entropy_[4];
+};
+
+// Runs kSeedLanes FourWordSeedSeq 624-word expansions at once.
+// out[l * kEngineSeedWords + i] is word i of the expansion of seeds[l]
+// (lane-major, so each lane's words are contiguous for replay).
+void GenerateSeedBlock(const uint64_t seeds[kSeedLanes], uint32_t* out);
+
+// Seed-sequence adapter replaying one precomputed word block into an
+// engine's seed request. Requests beyond `count` words are filled with
+// zeros (an mt19937_64 requests exactly kEngineSeedWords).
+class ReplaySeedSeq {
+ public:
+  ReplaySeedSeq(const uint32_t* words, size_t count)
+      : words_(words), count_(count) {}
+
+  using result_type = uint32_t;
+  size_t size() const { return count_; }
+
+  template <typename It>
+  void generate(It begin, It end) {
+    size_t i = 0;
+    for (; begin != end && i < count_; ++begin, ++i) *begin = words_[i];
+    for (; begin != end; ++begin) *begin = 0;
+  }
+
+ private:
+  const uint32_t* words_;
+  size_t count_;
+};
+
+// The one lane-batching walk over a seed range: invokes
+// fn(index, seed_sequence) for every i in [0, count), handing kSeedLanes
+// seeds at a time through GenerateSeedBlock and any tail through
+// FourWordSeedSeq. The sequence passed to fn expands seeds[index]
+// exactly as std::seed_seq{SplitMix64 x 4} would, whichever branch
+// produced it, so each element is a pure function of its own seed and
+// disjoint ranges can be walked concurrently with any grouping. `fn`
+// must accept (size_t, Sseq&) generically (two sequence types occur).
+template <typename Fn>
+void ForEachSeedSequence(const uint64_t* seeds, size_t count, Fn&& fn) {
+  size_t i = 0;
+  uint32_t block[kSeedLanes * kEngineSeedWords];
+  for (; i + kSeedLanes <= count; i += kSeedLanes) {
+    GenerateSeedBlock(seeds + i, block);
+    for (size_t l = 0; l < kSeedLanes; ++l) {
+      ReplaySeedSeq replay(block + l * kEngineSeedWords, kEngineSeedWords);
+      fn(i + l, replay);
+    }
+  }
+  for (; i < count; ++i) {
+    FourWordSeedSeq seq(seeds[i]);
+    fn(i, seq);
+  }
+}
+
+// Seeds out[0, count) from seeds[0, count) in order. Bit-identical to
+// `out[i] = Rng(seeds[i])` for every i (golden-tested).
+void SeedRngRange(const uint64_t* seeds, size_t count, Rng* out);
+
+}  // namespace mdrr
+
+#endif  // MDRR_RNG_FAST_SEED_H_

@@ -1,6 +1,7 @@
 #include "mdrr/rng/rng.h"
 
 #include "mdrr/common/check.h"
+#include "mdrr/rng/fast_seed.h"
 
 namespace mdrr {
 
@@ -16,33 +17,16 @@ namespace {
 
 std::mt19937_64 MakeEngine(uint64_t seed) {
   // Expand the seed through SplitMix64 into a full seed sequence so that
-  // seeds 1, 2, 3, ... give unrelated streams.
-  uint64_t state = seed;
-  std::seed_seq seq{SplitMix64Next(state), SplitMix64Next(state),
-                    SplitMix64Next(state), SplitMix64Next(state)};
+  // seeds 1, 2, 3, ... give unrelated streams. FourWordSeedSeq is the
+  // historical std::seed_seq expansion, bit for bit, minus its
+  // allocations and generic-index arithmetic (fast_seed.h).
+  FourWordSeedSeq seq(seed);
   return std::mt19937_64(seq);
 }
 
 }  // namespace
 
 Rng::Rng(uint64_t seed) : engine_(MakeEngine(seed)) {}
-
-uint64_t Rng::UniformInt(uint64_t bound) {
-  MDRR_CHECK_GT(bound, 0u);
-  std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
-  return dist(engine_);
-}
-
-double Rng::UniformDouble() {
-  std::uniform_real_distribution<double> dist(0.0, 1.0);
-  return dist(engine_);
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return UniformDouble() < p;
-}
 
 size_t Rng::Discrete(const std::vector<double>& weights) {
   MDRR_CHECK(!weights.empty());

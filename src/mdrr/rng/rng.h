@@ -9,7 +9,10 @@
 
 #include <cstdint>
 #include <random>
+#include <type_traits>
 #include <vector>
+
+#include "mdrr/common/check.h"
 
 namespace mdrr {
 
@@ -23,14 +26,41 @@ class Rng {
  public:
   explicit Rng(uint64_t seed);
 
+  // Seeds from a std-style seed sequence. Rng(seed) is shorthand for Rng
+  // over the four-word SplitMix64 expansion of `seed` (FourWordSeedSeq in
+  // fast_seed.h); this constructor is the hook the batched party-seeding
+  // path uses to install precomputed seed blocks. Excluded for integral
+  // arguments (those mean the seed constructor) and for Rng itself (a
+  // copy from a non-const Rng must pick the copy constructor, not try to
+  // treat the source as a seed sequence).
+  template <typename Sseq,
+            typename = std::enable_if_t<
+                !std::is_convertible_v<Sseq, uint64_t> &&
+                !std::is_same_v<std::remove_cv_t<Sseq>, Rng>>>
+  explicit Rng(Sseq& seq) : engine_(seq) {}
+
   // Uniform on {0, ..., bound - 1}. Precondition: bound > 0.
-  uint64_t UniformInt(uint64_t bound);
+  // Inline: one draw of this sits inside every randomized-response
+  // publication, so the call must vanish into the caller's loop.
+  uint64_t UniformInt(uint64_t bound) {
+    MDRR_DCHECK_GT(bound, 0u);
+    std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+    return dist(engine_);
+  }
 
   // Uniform on [0, 1).
-  double UniformDouble();
+  double UniformDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
 
-  // True with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  // True with probability p (clamped to [0, 1]). p <= 0 and p >= 1 decide
+  // without consuming a draw -- part of the transcript contract.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
 
   // Draws an index from the (not necessarily normalized) non-negative
   // weight vector by inverse transform. O(n); for repeated draws from the

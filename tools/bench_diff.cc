@@ -1,0 +1,246 @@
+// Compares two BENCH_pipeline.json files (the committed baseline vs a
+// freshly generated run) and reports per-stage deltas, so the nightly
+// soak catches pipeline-stage regressions instead of silently uploading
+// slower numbers.
+//
+// Usage:
+//   bench_diff --baseline=BENCH_pipeline.json --current=fresh.json
+//              [--warn_pct=20] [--min_delta_s=0.05] [--out=report.txt]
+//              [--fail_on_regression]
+//
+// For every stage present in both files the tool prints baseline/current
+// t1 and tN with their percent deltas, and flags WARN when current time
+// exceeds baseline by more than --warn_pct percent AND by more than
+// --min_delta_s seconds (a millisecond-scale stage jitters by 30%+ run
+// to run; relative-only thresholds would cry wolf nightly). Wall-clock
+// noise on shared runners is real; the defaults are an alarm threshold,
+// not a hard gate. Stages in only one file are listed as added/removed.
+// A current stage that is not bit_identical is always an error: that bit
+// is the determinism contract, not a performance number.
+//
+// Exit status: 0 on success (warnings included), 1 if any current stage
+// lost bit-identity or --fail_on_regression was set and a WARN fired,
+// 2 on unreadable/unparseable input.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mdrr/common/flags.h"
+
+namespace {
+
+struct StageRow {
+  std::string name;
+  double t1 = 0.0;
+  double tn = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+};
+
+struct BenchFile {
+  // Header workload parameters (n, session_n, threads, shard_size,
+  // est_r); absent keys are omitted. Regression thresholds only make
+  // sense when both files ran the same workload.
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<StageRow> stages;
+};
+
+// Extracts the first JSON number/string/bool after `key` within `object`.
+// The input format is the fixed single-purpose schema bench_parallel_
+// pipeline writes, so a targeted scanner is sufficient and dependency-free.
+std::optional<std::string> RawValueAfter(const std::string& object,
+                                         const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t at = object.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  at += needle.size();
+  while (at < object.size() && object[at] == ' ') ++at;
+  size_t end = at;
+  if (end < object.size() && object[end] == '"') {
+    end = object.find('"', end + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return object.substr(at + 1, end - at - 1);
+  }
+  while (end < object.size() && object[end] != ',' && object[end] != '}' &&
+         object[end] != '\n') {
+    ++end;
+  }
+  return object.substr(at, end - at);
+}
+
+std::optional<BenchFile> ParseBenchFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  BenchFile result;
+  // Header fields live before the stages array; scanning only that
+  // prefix keeps stage keys from shadowing them.
+  const std::string header = text.substr(0, text.find("\"stages\""));
+  for (const char* key : {"n", "session_n", "threads", "shard_size",
+                          "est_r"}) {
+    if (auto value = RawValueAfter(header, key)) {
+      result.params.emplace_back(key, *value);
+    }
+  }
+  size_t cursor = 0;
+  while (true) {
+    size_t start = text.find("{\"stage\":", cursor);
+    if (start == std::string::npos) break;
+    size_t end = text.find('}', start);
+    if (end == std::string::npos) break;
+    const std::string object = text.substr(start, end - start + 1);
+    cursor = end + 1;
+
+    StageRow row;
+    auto name = RawValueAfter(object, "stage");
+    auto t1 = RawValueAfter(object, "t1_seconds");
+    auto tn = RawValueAfter(object, "tN_seconds");
+    auto speedup = RawValueAfter(object, "speedup");
+    auto identical = RawValueAfter(object, "bit_identical");
+    if (!name || !t1 || !tn || !speedup || !identical) {
+      std::fprintf(stderr, "bench_diff: malformed stage object in %s: %s\n",
+                   path.c_str(), object.c_str());
+      return std::nullopt;
+    }
+    row.name = *name;
+    row.t1 = std::atof(t1->c_str());
+    row.tn = std::atof(tn->c_str());
+    row.speedup = std::atof(speedup->c_str());
+    row.bit_identical = *identical == "true";
+    result.stages.push_back(row);
+  }
+  if (result.stages.empty()) {
+    std::fprintf(stderr, "bench_diff: no stages found in %s\n", path.c_str());
+    return std::nullopt;
+  }
+  return result;
+}
+
+const StageRow* FindStage(const BenchFile& file, const std::string& name) {
+  for (const StageRow& row : file.stages) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+double PercentDelta(double baseline, double current) {
+  if (baseline <= 0.0) return 0.0;
+  return 100.0 * (current - baseline) / baseline;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdrr::FlagSet flags;
+  flags.Parse(argc, argv);
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const std::string current_path = flags.GetString("current", "");
+  const double warn_pct = flags.GetDouble("warn_pct", 20.0);
+  const double min_delta_s = flags.GetDouble("min_delta_s", 0.05);
+  const std::string out_path = flags.GetString("out", "");
+  const bool fail_on_regression = flags.GetBool("fail_on_regression", false);
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_diff --baseline=FILE --current=FILE "
+                 "[--warn_pct=20] [--out=FILE] [--fail_on_regression]\n");
+    return 2;
+  }
+
+  auto baseline = ParseBenchFile(baseline_path);
+  auto current = ParseBenchFile(current_path);
+  if (!baseline || !current) return 2;
+
+  // Timings are only comparable when both runs used the same workload
+  // parameters; on mismatch, deltas are still reported but regression
+  // warnings are suppressed (a 3x est_r is not a regression).
+  const bool comparable = baseline->params == current->params;
+
+  std::ostringstream report;
+  report << "bench_diff: " << current_path << " vs baseline "
+         << baseline_path << " (warn at >" << warn_pct << "% regression)\n";
+  if (!comparable) {
+    report << "NOTE: workload parameters differ between the files";
+    for (const auto& [key, value] : current->params) {
+      std::string base_value = "?";
+      for (const auto& [base_key, bv] : baseline->params) {
+        if (base_key == key) base_value = bv;
+      }
+      if (base_value != value) {
+        report << "  [" << key << ": " << base_value << " -> " << value
+               << "]";
+      }
+    }
+    report << "; deltas are informational, regression warnings suppressed\n";
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-22s %10s %10s %8s %10s %10s %8s\n",
+                "stage", "base t1", "cur t1", "d-t1", "base tN", "cur tN",
+                "d-tN");
+  report << line;
+
+  int warnings = 0;
+  int identity_failures = 0;
+  for (const StageRow& row : current->stages) {
+    const StageRow* base = FindStage(*baseline, row.name);
+    if (base == nullptr) {
+      std::snprintf(line, sizeof(line),
+                    "%-22s %10s %10.3f %8s %10s %10.3f %8s  NEW\n",
+                    row.name.c_str(), "-", row.t1, "-", "-", row.tn, "-");
+      report << line;
+      continue;
+    }
+    double d1 = PercentDelta(base->t1, row.t1);
+    double dn = PercentDelta(base->tn, row.tn);
+    bool warn1 = d1 > warn_pct && row.t1 - base->t1 > min_delta_s;
+    bool warnn = dn > warn_pct && row.tn - base->tn > min_delta_s;
+    bool warn = comparable && (warn1 || warnn);
+    if (warn) ++warnings;
+    if (!row.bit_identical) ++identity_failures;
+    std::snprintf(line, sizeof(line),
+                  "%-22s %10.3f %10.3f %+7.1f%% %10.3f %10.3f %+7.1f%%%s%s\n",
+                  row.name.c_str(), base->t1, row.t1, d1, base->tn, row.tn,
+                  dn, warn ? "  WARN" : "",
+                  row.bit_identical ? "" : "  NOT-BIT-IDENTICAL");
+    report << line;
+  }
+  for (const StageRow& row : baseline->stages) {
+    if (FindStage(*current, row.name) == nullptr) {
+      std::snprintf(line, sizeof(line), "%-22s  removed (was t1 %.3f s)\n",
+                    row.name.c_str(), row.t1);
+      report << line;
+    }
+  }
+  if (warnings > 0) {
+    report << "WARNING: " << warnings << " stage(s) regressed more than "
+           << warn_pct << "%\n";
+  }
+  if (identity_failures > 0) {
+    report << "ERROR: " << identity_failures
+           << " stage(s) lost bit-identity across thread counts\n";
+  }
+
+  std::fputs(report.str().c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_diff: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << report.str();
+  }
+  if (identity_failures > 0) return 1;
+  if (fail_on_regression && warnings > 0) return 1;
+  return 0;
+}
