@@ -51,7 +51,9 @@
 #include "mdrr/dataset/adult.h"
 #include "mdrr/linalg/lu.h"
 #include "mdrr/protocol/session.h"
+#include "mdrr/protocol/stream_ingest.h"
 #include "mdrr/release/planner.h"
+#include "mdrr/release/serialization.h"
 #include "mdrr/rng/rng.h"
 
 namespace {
@@ -488,6 +490,46 @@ int main(int argc, char** argv) {
                session_batched.value().messages_round2 &&
            SameData(session_loop.value().randomized,
                     session_batched.value().randomized)});
+  PrintStage(stages.back());
+
+  // --- Streaming windowed collection. The collector ingests the session
+  // workload through the lock-free channels at 1 vs N ingest threads and
+  // re-runs the Eq. (2) closed forms per tumbling window; the identical
+  // column asserts the per-window transcripts bit-equal AND that the
+  // structured windows triggered zero LU factorizations. ---
+  mdrr::release::ReleaseSpec stream_spec;
+  stream_spec.mechanism.kind = mdrr::release::MechanismKind::kIndependent;
+  stream_spec.budget.keep_probability = p;
+  stream_spec.streaming.enabled = true;
+  stream_spec.streaming.window_size =
+      std::max<uint64_t>(1, static_cast<uint64_t>(session_n) / 8);
+  stream_spec.execution.seed = session_options.seed;
+  auto run_streaming = [&](size_t ingest_threads) {
+    mdrr::protocol::StreamingReplayOptions streaming_options;
+    streaming_options.num_ingest_threads = ingest_threads;
+    streaming_options.collector.num_shards = std::min<size_t>(
+        4, std::max<size_t>(1, ingest_threads));
+    return mdrr::protocol::RunStreamingReplay(stream_spec, session_data,
+                                              streaming_options);
+  };
+  const uint64_t lu_before_streaming = mdrr::linalg::LuFactorizationCount();
+  timer.Restart();
+  auto streaming_one = run_streaming(1);
+  double streaming_t1 = timer.Seconds();
+  timer.Restart();
+  auto streaming_many = run_streaming(threads);
+  double streaming_tn = timer.Seconds();
+  if (!streaming_one.ok() || !streaming_many.ok()) {
+    std::fprintf(stderr, "streaming-window failed\n");
+    return 1;
+  }
+  stages.push_back(
+      {"streaming-window", streaming_t1, streaming_tn,
+       mdrr::release::PrintStreamWindows(streaming_one.value().windows) ==
+               mdrr::release::PrintStreamWindows(
+                   streaming_many.value().windows) &&
+           !streaming_one.value().windows.empty() &&
+           mdrr::linalg::LuFactorizationCount() == lu_before_streaming});
   PrintStage(stages.back());
 
   int failures = 0;

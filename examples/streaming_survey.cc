@@ -1,19 +1,24 @@
-// A live survey with streaming estimation: reports arrive one at a time
-// and the controller watches the Eq. (2) estimate tighten as its
-// confidence interval shrinks. When the collection window closes, the
-// final publication is NOT the ad-hoc stream state: the controller
-// freezes a declarative ReleaseSpec, runs it through ReleasePlanner, and
-// archives the spec text -- anyone can re-run the identical release from
-// that file (mdrr_cli run --spec=...).
+// A live survey on the always-on streaming collector: reports arrive
+// continuously, the collector counts them into tumbling windows, and
+// every completed window re-runs the Eq. (2) closed forms on merged
+// counts to publish one estimation summary -- records are touched once,
+// at ingest, and every release afterwards is pure count arithmetic.
+//
+// Each released window charges its design epsilon against the spec's
+// total budget. The example sizes the budget to afford four of the five
+// windows, so the last one demonstrates the fail-closed degraded mode:
+// counting continues, publication stops.
+//
+// The transcript printed here is bit-identical for ANY ingest thread
+// count -- rerun with a different `kIngestThreads` to check. The
+// service version of this loop (pause, snapshot, resume, verify) is
+// tools/mdrr_collectd.cc.
 //
 // Build & run:  ./build/example_streaming_survey
 
 #include <cstdio>
 
-#include "mdrr/core/collector.h"
-#include "mdrr/core/risk.h"
-#include "mdrr/core/rr_matrix.h"
-#include "mdrr/release/planner.h"
+#include "mdrr/protocol/stream_ingest.h"
 #include "mdrr/release/serialization.h"
 #include "mdrr/rng/rng.h"
 
@@ -21,71 +26,66 @@ int main() {
   // Four-category sensitive attribute (say, substance-use frequency).
   const std::vector<double> true_distribution = {0.70, 0.17, 0.09, 0.04};
   const double keep_probability = 0.55;
-  mdrr::RrMatrix matrix = mdrr::RrMatrix::KeepUniform(4, keep_probability);
+  const size_t kIngestThreads = 4;
 
-  mdrr::ReportCollector collector(matrix);
-  mdrr::Rng rng(13);
-
-  std::printf("design epsilon per respondent: %.3f\n\n", collector.Epsilon());
-  std::printf("%10s  %28s  %10s\n", "reports",
-              "estimate (rarest category)", "+/- 95% CI");
-
-  const int checkpoints[] = {200, 1000, 5000, 25000, 125000};
-  std::vector<uint32_t> truths;  // The population, accumulated.
-  int produced = 0;
-  for (int checkpoint : checkpoints) {
-    while (produced < checkpoint) {
-      uint32_t truth = static_cast<uint32_t>(rng.Discrete(true_distribution));
-      truths.push_back(truth);
-      uint32_t report = matrix.Randomize(truth, rng);
-      if (!collector.AddReport(report).ok()) return 1;
-      ++produced;
-    }
-    auto estimate = collector.Estimate();
-    auto ci = collector.ConfidenceHalfWidths(0.05);
-    if (!estimate.ok() || !ci.ok()) return 1;
-    std::printf("%10d  %28.4f  %10.4f\n", produced, estimate.value()[3],
-                ci.value()[3]);
-  }
-  std::printf("\ntrue value of the rarest category: %.4f\n",
-              true_distribution[3]);
-
-  // The risk sheet for this design under the estimated prior.
-  auto prior = collector.Estimate();
-  auto expected = mdrr::ExpectedDisclosureRisk(matrix, prior.value());
-  if (expected.ok()) {
-    std::printf("\ndisclosure risk under the estimated prior:\n");
-    std::printf("  baseline attacker success (prior only): %.4f\n",
-                mdrr::PriorBaselineRisk(prior.value()));
-    std::printf("  expected attacker success (with report): %.4f\n",
-                expected.value());
-  }
-
-  // Collection closed: publish the official release from a spec. The
-  // collector was the live view; the archived ReleaseSpec is the
-  // reproducible publication.
+  // The population: 25k respondents drawn from the true distribution.
+  // They arrive in sequence order; the collector sees only the
+  // randomized reports the replay perturbs party-side.
   mdrr::Attribute frequency;
   frequency.name = "frequency";
   frequency.categories = {"never", "monthly", "weekly", "daily"};
+  std::vector<uint32_t> truths;
+  mdrr::Rng rng(13);
+  for (int i = 0; i < 25000; ++i) {
+    truths.push_back(static_cast<uint32_t>(rng.Discrete(true_distribution)));
+  }
   mdrr::Dataset survey({frequency}, {truths});
 
   mdrr::release::ReleaseSpec spec;
   spec.mechanism.kind = mdrr::release::MechanismKind::kIndependent;
   spec.budget.keep_probability = keep_probability;
+  spec.budget.max_total_epsilon = 7.2;  // Affords 4 windows of ~1.77 each.
+  spec.streaming.enabled = true;
+  spec.streaming.window_size = 5000;
   spec.execution.seed = 14;
 
-  auto plan = mdrr::release::ReleasePlanner::Plan(spec, &survey);
-  if (!plan.ok()) return 1;
-  auto artifacts = plan.value().Run();
-  if (!artifacts.ok()) return 1;
+  mdrr::protocol::StreamingReplayOptions options;
+  options.num_ingest_threads = kIngestThreads;
+  options.collector.num_shards = 2;
+  auto run = mdrr::protocol::RunStreamingReplay(spec, survey, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const auto& result = run.value();
 
-  std::printf("\nofficial release (from the archived ReleaseSpec):\n");
-  std::printf("  estimated rate of '%s': %.4f  (stream said %.4f)\n",
-              frequency.categories[3].c_str(),
-              artifacts.value().marginal_estimates[0][3],
-              prior.value()[3]);
-  std::printf("  release epsilon: %.3f\n",
-              artifacts.value().total_epsilon());
+  std::printf("streamed %llu reports through %zu ingest threads\n\n",
+              static_cast<unsigned long long>(result.reports_ingested),
+              kIngestThreads);
+  std::printf("%8s  %16s  %26s\n", "window", "sequences",
+              "estimate ('daily') / status");
+  for (const mdrr::release::StreamWindow& window : result.windows) {
+    if (window.released) {
+      std::printf("%8llu  %7llu..%-7llu  %10.4f  (epsilon %.3f)\n",
+                  static_cast<unsigned long long>(window.index),
+                  static_cast<unsigned long long>(window.begin_sequence),
+                  static_cast<unsigned long long>(window.end_sequence),
+                  window.artifacts.marginal_estimates[0][3], window.epsilon);
+    } else {
+      std::printf("%8llu  %7llu..%-7llu  %10s  (budget exhausted)\n",
+                  static_cast<unsigned long long>(window.index),
+                  static_cast<unsigned long long>(window.begin_sequence),
+                  static_cast<unsigned long long>(window.end_sequence),
+                  "SUPPRESSED");
+    }
+  }
+  std::printf("\ntrue value of 'daily': %.4f\n", true_distribution[3]);
+  std::printf("epsilon spent %.3f of budget %.1f -- the suppressed window "
+              "kept counting but published nothing\n",
+              result.epsilon_spent, spec.budget.max_total_epsilon);
+
+  // The archived spec: anyone can replay the identical window sequence
+  // from this text (mdrr_cli run --spec=... or mdrr_collectd --spec=...).
   std::printf("\narchived spec:\n%s",
               mdrr::release::PrintReleaseSpec(spec).c_str());
   return 0;

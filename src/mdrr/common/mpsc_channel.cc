@@ -1,0 +1,118 @@
+#include "mdrr/common/mpsc_channel.h"
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+constexpr uint64_t PackHead(uint32_t index, uint32_t tag) {
+  return (static_cast<uint64_t>(tag) << 32) | index;
+}
+
+}  // namespace
+
+StreamChannel::StreamChannel(size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity) {
+  MDRR_CHECK_LT(capacity_, kIndexMask);
+  const size_t ring = NextPowerOfTwo(capacity_);
+  ring_mask_ = ring - 1;
+
+  nodes_.resize(capacity_);
+  next_ = std::vector<std::atomic<uint32_t>>(capacity_);
+  // Seed the free stack with every node: i -> i + 1 -> ... -> empty.
+  for (size_t i = 0; i + 1 < capacity_; ++i) {
+    next_[i].store(static_cast<uint32_t>(i + 1), std::memory_order_relaxed);
+  }
+  next_[capacity_ - 1].store(static_cast<uint32_t>(kIndexMask),
+                             std::memory_order_relaxed);
+  free_head_.store(PackHead(0, 0), std::memory_order_relaxed);
+
+  cells_ = std::make_unique<Cell[]>(ring);
+  for (size_t i = 0; i < ring; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+  enqueue_pos_.store(0, std::memory_order_relaxed);
+  dequeue_pos_.store(0, std::memory_order_relaxed);
+}
+
+StreamReportNode* StreamChannel::TryAcquire() {
+  uint64_t head = free_head_.load(std::memory_order_acquire);
+  for (;;) {
+    const uint32_t top = static_cast<uint32_t>(head & kIndexMask);
+    if (top == kIndexMask) return nullptr;  // Pool exhausted: backpressure.
+    const uint32_t tag = static_cast<uint32_t>(head >> 32);
+    const uint32_t next = next_[top].load(std::memory_order_relaxed);
+    // Bump the tag on success so a thread that slept across a whole
+    // recycle cycle cannot CAS a stale {top, next} pair into place.
+    if (free_head_.compare_exchange_weak(head, PackHead(next, tag + 1),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return &nodes_[top];
+    }
+  }
+}
+
+void StreamChannel::Push(StreamReportNode* node) {
+  const uint32_t index = static_cast<uint32_t>(node - nodes_.data());
+  MDRR_DCHECK_LT(index, nodes_.size());
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & ring_mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.node = index;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return;
+      }
+    } else if (dif < 0) {
+      // Ring full. Unreachable while capacity(ring) >= capacity(pool)
+      // and every pushed node came from TryAcquire.
+      MDRR_CHECK(false);
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+StreamReportNode* StreamChannel::TryPop() {
+  const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[pos & ring_mask_];
+  const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+  const int64_t dif =
+      static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+  if (dif < 0) return nullptr;  // Producer has not finished this cell.
+  // Single consumer: no other thread advances dequeue_pos_, so a plain
+  // store is enough once the cell's payload has been read.
+  StreamReportNode* node = &nodes_[cell.node];
+  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+  cell.seq.store(pos + ring_mask_ + 1, std::memory_order_release);
+  return node;
+}
+
+void StreamChannel::Recycle(StreamReportNode* node) {
+  const uint32_t index = static_cast<uint32_t>(node - nodes_.data());
+  MDRR_DCHECK_LT(index, nodes_.size());
+  uint64_t head = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint32_t tag = static_cast<uint32_t>(head >> 32);
+    next_[index].store(static_cast<uint32_t>(head & kIndexMask),
+                       std::memory_order_relaxed);
+    if (free_head_.compare_exchange_weak(head, PackHead(index, tag),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace mdrr

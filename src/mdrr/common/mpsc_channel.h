@@ -1,0 +1,98 @@
+// Lock-free bounded MPSC channel for continuous report ingestion.
+//
+// A StreamChannel moves fixed-capacity report nodes from many producer
+// threads to one consumer without a lock anywhere on the hot path. It is
+// two classic lock-free structures glued by an invariant:
+//
+//   * a Treiber stack of free nodes (the pool), with the head packed as
+//     {32-bit node index, 32-bit tag} in one atomic 64-bit word so the
+//     ABA problem is handled portably (no double-width CAS needed);
+//   * a Vyukov bounded ring of node indices with per-cell sequence
+//     counters, restricted to a single consumer.
+//
+// The ring capacity equals the pool capacity, and only nodes acquired
+// from the pool are ever pushed, so `Push` can never find the ring full:
+// backpressure surfaces exactly once, as `TryAcquire` returning nullptr
+// when the pool is exhausted. Producers that respect that signal never
+// spin inside the channel.
+//
+// Lifecycle per report: TryAcquire -> fill node -> Push; the consumer
+// TryPop -> read node -> Recycle. A node is owned by exactly one thread
+// between those transitions, so its payload fields need no atomics.
+
+#ifndef MDRR_COMMON_MPSC_CHANNEL_H_
+#define MDRR_COMMON_MPSC_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mdrr {
+
+// One in-flight report: the global arrival sequence number and the
+// party's perturbed per-attribute codes. `codes` keeps its heap buffer
+// across recycles, so steady-state ingestion allocates nothing.
+struct StreamReportNode {
+  uint64_t sequence = 0;
+  std::vector<uint32_t> codes;
+};
+
+class StreamChannel {
+ public:
+  // A channel able to hold `capacity` in-flight reports (clamped up to a
+  // minimum of 2; ring storage rounds up to the next power of two).
+  // Capacity must fit a 32-bit index; this is checked.
+  explicit StreamChannel(size_t capacity);
+
+  StreamChannel(const StreamChannel&) = delete;
+  StreamChannel& operator=(const StreamChannel&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Pops a free node off the pool, or nullptr when every node is in
+  // flight (backpressure: the consumer has not kept up). Thread-safe.
+  StreamReportNode* TryAcquire();
+
+  // Publishes a node previously returned by TryAcquire. Thread-safe;
+  // never blocks and never fails (see the capacity invariant above).
+  void Push(StreamReportNode* node);
+
+  // Dequeues the oldest published node, or nullptr when the ring is
+  // empty. Single consumer only. With one producer, nodes come out in
+  // exactly the order they were pushed (FIFO) -- the replay-mode
+  // determinism contract.
+  StreamReportNode* TryPop();
+
+  // Returns a consumed node to the free pool. Thread-safe.
+  void Recycle(StreamReportNode* node);
+
+ private:
+  static constexpr uint64_t kIndexMask = 0xffffffffull;
+
+  // Treiber stack head: {tag << 32 | top index}; kIndexMask as the index
+  // means empty. The tag increments on every pop, so a stalled
+  // compare-exchange cannot mistake a recycled head for the one it read.
+  std::atomic<uint64_t> free_head_;
+
+  // One ring cell: `seq` is the Vyukov availability counter, `node` the
+  // published index. Padded to a cache line so neighboring cells never
+  // false-share under producer contention.
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> seq;
+    uint32_t node = 0;
+  };
+
+  size_t capacity_;
+  uint64_t ring_mask_;
+  std::vector<StreamReportNode> nodes_;
+  // Per-node next pointer of the free stack (index, kIndexMask = none).
+  std::vector<std::atomic<uint32_t>> next_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<uint64_t> enqueue_pos_;
+  alignas(64) std::atomic<uint64_t> dequeue_pos_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_COMMON_MPSC_CHANNEL_H_

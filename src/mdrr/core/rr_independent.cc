@@ -5,6 +5,19 @@
 
 namespace mdrr {
 
+RrMatrix MakeIndependentMatrix(size_t r, const RrIndependentOptions& options) {
+  switch (options.design) {
+    case IndependentDesign::kGeometricOrdinal:
+      // A single-category attribute has nothing to protect; the ordinal
+      // design needs r >= 2, so publish the only value (epsilon 0).
+      if (r < 2) return RrMatrix::KeepUniform(r, 1.0);
+      return RrMatrix::GeometricOrdinal(r, options.geometric_epsilon);
+    case IndependentDesign::kKeepUniform:
+      break;
+  }
+  return RrMatrix::KeepUniform(r, options.keep_probability);
+}
+
 StatusOr<RrIndependentResult> RunRrIndependent(
     const Dataset& dataset, const RrIndependentOptions& options, Rng& rng) {
   return RunRrIndependentWith(dataset, options, SequentialPerturber(rng));
@@ -26,7 +39,7 @@ StatusOr<RrIndependentResult> RunRrIndependentWith(
 
   for (size_t j = 0; j < m; ++j) {
     const size_t r = dataset.attribute(j).cardinality();
-    RrMatrix matrix = RrMatrix::KeepUniform(r, options.keep_probability);
+    RrMatrix matrix = MakeIndependentMatrix(r, options);
     PerturbedColumn column = perturber(matrix, dataset.column(j), j);
     result.randomized.SetColumn(j, std::move(column.codes));
     result.lambda[j] = std::move(column.lambda);

@@ -12,16 +12,37 @@
 #include "mdrr/common/status_or.h"
 #include "mdrr/core/joint_estimate.h"
 #include "mdrr/core/perturber.h"
+#include "mdrr/core/rr_matrix.h"
 #include "mdrr/dataset/dataset.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr {
 
+// Which per-attribute design Protocol 1 randomizes with.
+enum class IndependentDesign {
+  // KeepUniform(p) per attribute (the Section 6.3.1 design).
+  kKeepUniform,
+  // GeometricOrdinal(epsilon) per attribute: the distance-sensitive
+  // ordinal design (rr_matrix.h), with the same Expression (4) epsilon
+  // for every attribute.
+  kGeometricOrdinal,
+};
+
 struct RrIndependentOptions {
   // The keep probability p of each per-attribute KeepUniform matrix
-  // (Section 6.3.1 design).
+  // (Section 6.3.1 design). kKeepUniform only.
   double keep_probability = 0.7;
+  IndependentDesign design = IndependentDesign::kKeepUniform;
+  // Per-attribute Expression (4) epsilon. kGeometricOrdinal only.
+  double geometric_epsilon = 1.0;
 };
+
+// The per-attribute randomization matrix the options describe, for an
+// attribute of cardinality r. Shared by the sequential and sharded
+// Protocol 1 paths and by the streaming release driver, so every
+// consumer of one option set randomizes and estimates through the same
+// design.
+RrMatrix MakeIndependentMatrix(size_t r, const RrIndependentOptions& options);
 
 struct RrIndependentResult {
   // Y: the published randomized data set.

@@ -1,0 +1,70 @@
+#include "mdrr/core/stream_counts.h"
+
+namespace mdrr {
+
+WindowedCounts::WindowedCounts(std::vector<size_t> cardinalities,
+                               uint64_t stride, size_t ring_buckets,
+                               size_t num_shards)
+    : cardinalities_(std::move(cardinalities)),
+      stride_(stride),
+      ring_(ring_buckets),
+      num_shards_(num_shards) {
+  MDRR_CHECK_GT(stride_, 0u);
+  MDRR_CHECK_GE(ring_, 1u);
+  MDRR_CHECK_GE(num_shards_, 1u);
+  MDRR_CHECK(!cardinalities_.empty());
+  offsets_.resize(cardinalities_.size());
+  width_ = 0;
+  for (size_t j = 0; j < cardinalities_.size(); ++j) {
+    MDRR_CHECK_GT(cardinalities_[j], 0u);
+    offsets_[j] = width_;
+    width_ += cardinalities_[j];
+  }
+  counts_.assign(ring_ * num_shards_ * width_, 0);
+  drained_ = std::vector<std::atomic<uint64_t>>(ring_);
+  for (auto& d : drained_) d.store(0, std::memory_order_relaxed);
+  frontier_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> WindowedCounts::MergedCounts(uint64_t bucket) const {
+  const size_t slot = static_cast<size_t>(bucket % ring_);
+  std::vector<int64_t> merged(width_, 0);
+  for (size_t shard = 0; shard < num_shards_; ++shard) {
+    const int64_t* row = RowFor(slot, shard);
+    for (size_t i = 0; i < width_; ++i) merged[i] += row[i];
+  }
+  return merged;
+}
+
+void WindowedCounts::RestoreBucket(uint64_t bucket,
+                                   const std::vector<int64_t>& counts,
+                                   uint64_t num_reports) {
+  MDRR_CHECK_EQ(counts.size(), width_);
+  const size_t slot = static_cast<size_t>(bucket % ring_);
+  MDRR_CHECK_EQ(drained_[slot].load(std::memory_order_relaxed), 0u);
+  int64_t* row = RowFor(slot, /*shard=*/0);
+  for (size_t i = 0; i < width_; ++i) row[i] = counts[i];
+  drained_[slot].store(num_reports, std::memory_order_release);
+}
+
+void WindowedCounts::RetireThrough(uint64_t through) {
+  uint64_t front = frontier_.load(std::memory_order_relaxed);
+  if (through + 1 <= front) return;
+  // Each slot needs zeroing at most once, so a frontier jump far beyond
+  // the ring (a snapshot resume deep into a stream) costs O(ring), not
+  // O(distance).
+  if (through - front + 1 > ring_) front = through + 1 - ring_;
+  for (uint64_t bucket = front; bucket <= through; ++bucket) {
+    const size_t slot = static_cast<size_t>(bucket % ring_);
+    int64_t* base = RowFor(slot, /*shard=*/0);
+    for (size_t i = 0; i < num_shards_ * width_; ++i) base[i] = 0;
+    drained_[slot].store(0, std::memory_order_relaxed);
+  }
+  // Release-publishes the zeroed slots: producers acquire the frontier
+  // before submitting into the re-opened sequence range, and their
+  // submissions reach the drain threads through the channel's own
+  // release/acquire edges.
+  frontier_.store(through + 1, std::memory_order_release);
+}
+
+}  // namespace mdrr

@@ -1,0 +1,128 @@
+// Incremental count accumulation for windowed streaming releases.
+//
+// A WindowedCounts partitions the report sequence space into fixed-size
+// buckets (bucket b covers sequences [b*stride, (b+1)*stride)) and keeps
+// a bounded ring of live bucket slots. Each slot holds one row of
+// concatenated per-attribute category counts PER INGEST SHARD, so the
+// drain thread of every shard counts into its own row without any
+// synchronization on the cells; a per-slot atomic drained counter is the
+// only cross-thread signal. Integer counts commute, so the merged bucket
+// totals -- and everything estimated from them -- are a pure function of
+// WHICH reports landed in the bucket, independent of ingest thread count
+// and arrival interleaving. This is what makes streaming window
+// transcripts bit-identical across ingest configurations.
+//
+// The ring doubles as the backpressure boundary: a slot is recycled only
+// after the release driver retires its bucket, and producers may not
+// submit sequences at or beyond AdmissionLimit(). Memory therefore stays
+// O(ring_buckets * num_shards * total cardinality) no matter how long
+// the stream runs.
+//
+// Thread roles (the StreamingCollector enforces them):
+//   * one drain thread per shard calls Count for that shard;
+//   * one release thread calls DrainedCount / MergedCounts /
+//     RetireThrough;
+//   * producers only read AdmissionLimit.
+
+#ifndef MDRR_CORE_STREAM_COUNTS_H_
+#define MDRR_CORE_STREAM_COUNTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "mdrr/common/check.h"
+
+namespace mdrr {
+
+class WindowedCounts {
+ public:
+  // `cardinalities[j]` is the category count of attribute j; `stride` the
+  // reports per bucket; `ring_buckets` the live-slot count (>= 1);
+  // `num_shards` the ingest shard count (>= 1).
+  WindowedCounts(std::vector<size_t> cardinalities, uint64_t stride,
+                 size_t ring_buckets, size_t num_shards);
+
+  WindowedCounts(const WindowedCounts&) = delete;
+  WindowedCounts& operator=(const WindowedCounts&) = delete;
+
+  uint64_t stride() const { return stride_; }
+  size_t ring_buckets() const { return ring_; }
+  size_t num_shards() const { return num_shards_; }
+  // Length of a concatenated count row (sum of cardinalities).
+  size_t width() const { return width_; }
+  const std::vector<size_t>& cardinalities() const { return cardinalities_; }
+
+  // Counts one report: codes[j] < cardinalities[j] for every attribute.
+  // Must be called by the single drain thread of `shard`, and only for
+  // sequences below AdmissionLimit() at submission time.
+  void Count(size_t shard, uint64_t sequence, const uint32_t* codes) {
+    const uint64_t bucket = sequence / stride_;
+    MDRR_DCHECK_GE(bucket, frontier_.load(std::memory_order_relaxed));
+    const size_t slot = static_cast<size_t>(bucket % ring_);
+    int64_t* row = RowFor(slot, shard);
+    for (size_t j = 0; j < cardinalities_.size(); ++j) {
+      MDRR_DCHECK_LT(codes[j], cardinalities_[j]);
+      ++row[offsets_[j] + codes[j]];
+    }
+    // Release-publishes the row increments to the release thread, which
+    // acquires through DrainedCount before touching the rows.
+    drained_[slot].fetch_add(1, std::memory_order_release);
+  }
+
+  // Reports counted into `bucket` so far. Release thread only; `bucket`
+  // must be live (>= frontier(), < frontier() + ring_buckets()).
+  uint64_t DrainedCount(uint64_t bucket) const {
+    return drained_[bucket % ring_].load(std::memory_order_acquire);
+  }
+
+  // Shard rows of `bucket` summed in shard order (exact int64 adds, so
+  // the result does not depend on drain interleaving). The caller must
+  // have observed the bucket's full population through DrainedCount.
+  std::vector<int64_t> MergedCounts(uint64_t bucket) const;
+
+  // Writes externally restored counts into the bucket's shard-0 row and
+  // sets its drained counter (snapshot resume). The bucket must be live
+  // and its slot untouched since construction or retirement.
+  void RestoreBucket(uint64_t bucket, const std::vector<int64_t>& counts,
+                     uint64_t num_reports);
+
+  // Recycles every slot of buckets [frontier(), through], zeroing counts
+  // and drained counters, then advances the frontier -- which extends
+  // AdmissionLimit() and thereby re-opens producer admission. Release
+  // thread only; every retired bucket must already be merged.
+  void RetireThrough(uint64_t through);
+
+  // First live (not yet retired) bucket.
+  uint64_t frontier() const {
+    return frontier_.load(std::memory_order_acquire);
+  }
+
+  // First sequence number producers may NOT submit yet: sequences map to
+  // a live slot iff they are below this. Safe to read from any thread.
+  uint64_t AdmissionLimit() const {
+    return (frontier() + ring_) * stride_;
+  }
+
+ private:
+  int64_t* RowFor(size_t slot, size_t shard) {
+    return counts_.data() + (slot * num_shards_ + shard) * width_;
+  }
+  const int64_t* RowFor(size_t slot, size_t shard) const {
+    return counts_.data() + (slot * num_shards_ + shard) * width_;
+  }
+
+  std::vector<size_t> cardinalities_;
+  std::vector<size_t> offsets_;
+  size_t width_;
+  uint64_t stride_;
+  size_t ring_;
+  size_t num_shards_;
+  std::vector<int64_t> counts_;  // ring * shards * width.
+  std::vector<std::atomic<uint64_t>> drained_;
+  std::atomic<uint64_t> frontier_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_CORE_STREAM_COUNTS_H_

@@ -1,0 +1,72 @@
+// Session-sourced ingest adapter for the streaming collector.
+//
+// RunStreamingReplay plays a dataset through a StreamingCollector as if
+// its rows were parties arriving over time: report s carries row
+// s % num_rows, perturbed party-side (the controller never sees true
+// values) with randomness drawn from RngStreamFamily(execution.seed)
+// stream s. Keying the randomness off the absolute sequence number --
+// not the producing thread -- is what makes the replay a fixed arrival
+// schedule: the per-window transcript is bit-identical for any
+// num_ingest_threads and any shard count, and a paused run resumes from
+// a snapshot knowing nothing but the sequence cursor.
+//
+// Threading: `num_ingest_threads` producers claim sequence numbers from
+// one shared atomic counter (so the submitted range stays contiguous --
+// a snapshot never has holes to re-ingest), perturb, and spin-submit
+// under backpressure; one drain thread per shard moves reports into the
+// count ring; the calling thread polls windows. The call blocks until
+// the replay completes (or reaches `pause_at` and snapshots).
+
+#ifndef MDRR_PROTOCOL_STREAM_INGEST_H_
+#define MDRR_PROTOCOL_STREAM_INGEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/dataset/dataset.h"
+#include "mdrr/release/spec.h"
+#include "mdrr/release/streaming.h"
+
+namespace mdrr::protocol {
+
+struct StreamingReplayOptions {
+  // Producer threads submitting reports. Purely a throughput knob: the
+  // window transcript is identical for any value.
+  size_t num_ingest_threads = 1;
+  release::StreamingCollectorOptions collector;
+  // Reports to stream in total; 0 = one per dataset row. Beyond
+  // num_rows the replay wraps around the dataset.
+  uint64_t total_reports = 0;
+  // Stop ingesting before this sequence number and return a snapshot
+  // instead of sealing (0 = run to completion). Pausing mid-bucket is
+  // fine; the partial counts travel in the snapshot.
+  uint64_t pause_at = 0;
+  // Resume state from a previous pause (null = fresh run). The replay
+  // continues at resume->next_sequence.
+  const release::StreamingSnapshot* resume = nullptr;
+};
+
+struct StreamingReplayResult {
+  // Windows emitted by THIS call, in window order (a resumed run starts
+  // at the snapshot's window cursor).
+  std::vector<release::StreamWindow> windows;
+  // Present iff the run paused at `pause_at`; feed it back through
+  // StreamingReplayOptions::resume to continue.
+  std::optional<release::StreamingSnapshot> snapshot;
+  uint64_t first_sequence = 0;
+  uint64_t reports_ingested = 0;
+  // Ledger total across the whole stream (including pre-resume spend).
+  double epsilon_spent = 0.0;
+  // True when the stream sealed and every releasable window is out.
+  bool finished = false;
+};
+
+StatusOr<StreamingReplayResult> RunStreamingReplay(
+    const release::ReleaseSpec& spec, const Dataset& dataset,
+    const StreamingReplayOptions& options);
+
+}  // namespace mdrr::protocol
+
+#endif  // MDRR_PROTOCOL_STREAM_INGEST_H_

@@ -57,10 +57,13 @@ std::vector<std::vector<size_t>> SingletonUnits(size_t m) {
 
 class IndependentMechanism : public Mechanism {
  public:
-  explicit IndependentMechanism(const RrIndependentOptions& options)
-      : options_(options) {}
+  // Serves both per-attribute spec mechanisms: `name` is the spec token
+  // ("independent" or "geometric-ordinal"); the design difference lives
+  // entirely in the options.
+  IndependentMechanism(const RrIndependentOptions& options, const char* name)
+      : options_(options), name_(name) {}
 
-  const char* name() const override { return "independent"; }
+  const char* name() const override { return name_; }
 
   StatusOr<MechanismOutput> RunSequential(const Dataset& dataset,
                                           Rng& rng) const override {
@@ -111,6 +114,7 @@ class IndependentMechanism : public Mechanism {
   }
 
   RrIndependentOptions options_;
+  const char* name_;
 };
 
 // ---------------------------------------------------------------------------
@@ -351,7 +355,14 @@ std::unique_ptr<Mechanism> MakeMechanism(const ReleaseSpec& spec) {
   switch (spec.mechanism.kind) {
     case MechanismKind::kIndependent:
       return std::make_unique<IndependentMechanism>(
-          RrIndependentOptions{spec.budget.keep_probability});
+          RrIndependentOptions{spec.budget.keep_probability}, "independent");
+    case MechanismKind::kGeometricOrdinal: {
+      RrIndependentOptions options;
+      options.design = IndependentDesign::kGeometricOrdinal;
+      options.geometric_epsilon = spec.mechanism.geometric_epsilon;
+      return std::make_unique<IndependentMechanism>(options,
+                                                    "geometric-ordinal");
+    }
     case MechanismKind::kJoint:
       return std::make_unique<JointMechanism>(
           spec.mechanism.joint_attributes, spec.budget.keep_probability,

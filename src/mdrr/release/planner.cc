@@ -194,6 +194,12 @@ StatusOr<ReleasePlan> ReleasePlanner::Plan(const ReleaseSpec& spec,
   // Structural pass first (no dataset needed), then the index checks
   // against the resolved schema.
   MDRR_RETURN_IF_ERROR(ValidateReleaseSpec(spec, /*num_attributes=*/0));
+  if (spec.streaming.enabled) {
+    return Status::InvalidArgument(
+        "streaming specs run through the streaming collector "
+        "(release/streaming.h, protocol::RunStreamingReplay), not a batch "
+        "ReleasePlan");
+  }
   Dataset owned;
   const Dataset* bound = nullptr;
   if (spec.dataset.source == DatasetSpec::Source::kProvided) {

@@ -15,6 +15,7 @@ namespace {
 
 constexpr char kSpecHeader[] = "mdrr-release-spec v1";
 constexpr char kArtifactsHeader[] = "mdrr-release-artifacts v1";
+constexpr char kSnapshotHeader[] = "mdrr-streaming-snapshot v1";
 
 void AppendDouble(std::string& out, double value) {
   char buf[40];
@@ -235,6 +236,8 @@ std::string PrintReleaseSpec(const ReleaseSpec& spec) {
              std::string(ToString(spec.mechanism.dependence_source)));
   AppendLine(out, "mechanism.use_paper_epsilon_formula",
              spec.mechanism.use_paper_epsilon_formula);
+  AppendLine(out, "mechanism.geometric_epsilon",
+             spec.mechanism.geometric_epsilon);
 
   AppendLine(out, "adjustment.enabled", spec.adjustment.enabled);
   AppendSigned(out, "adjustment.max_iterations",
@@ -252,6 +255,14 @@ std::string PrintReleaseSpec(const ReleaseSpec& spec) {
   AppendSigned(out, "evaluation.queries_per_sigma",
                spec.evaluation.queries_per_sigma);
   AppendLine(out, "evaluation.seed", spec.evaluation.seed);
+
+  AppendLine(out, "streaming.enabled", spec.streaming.enabled);
+  AppendLine(out, "streaming.window_kind",
+             std::string(ToString(spec.streaming.window_kind)));
+  AppendLine(out, "streaming.window_size", spec.streaming.window_size);
+  AppendLine(out, "streaming.window_stride", spec.streaming.window_stride);
+  AppendLine(out, "streaming.window_epsilon", spec.streaming.window_epsilon);
+  AppendLine(out, "streaming.max_windows", spec.streaming.max_windows);
 
   AppendLine(out, "execution.policy",
              std::string(ToString(spec.execution.kind)));
@@ -329,6 +340,9 @@ StatusOr<ReleaseSpec> ParseReleaseSpec(const std::string& text) {
     } else if (key == "mechanism.use_paper_epsilon_formula") {
       MDRR_ASSIGN_OR_RETURN(spec.mechanism.use_paper_epsilon_formula,
                             ParseBool(line));
+    } else if (key == "mechanism.geometric_epsilon") {
+      MDRR_ASSIGN_OR_RETURN(spec.mechanism.geometric_epsilon,
+                            ParseOneDouble(line));
     } else if (key == "adjustment.enabled") {
       MDRR_ASSIGN_OR_RETURN(spec.adjustment.enabled, ParseBool(line));
     } else if (key == "adjustment.max_iterations") {
@@ -352,6 +366,21 @@ StatusOr<ReleaseSpec> ParseReleaseSpec(const std::string& text) {
       spec.evaluation.queries_per_sigma = static_cast<int>(value);
     } else if (key == "evaluation.seed") {
       MDRR_ASSIGN_OR_RETURN(spec.evaluation.seed, ParseOneUint(line));
+    } else if (key == "streaming.enabled") {
+      MDRR_ASSIGN_OR_RETURN(spec.streaming.enabled, ParseBool(line));
+    } else if (key == "streaming.window_kind") {
+      MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
+      MDRR_ASSIGN_OR_RETURN(spec.streaming.window_kind,
+                            WindowKindFromString(token));
+    } else if (key == "streaming.window_size") {
+      MDRR_ASSIGN_OR_RETURN(spec.streaming.window_size, ParseOneUint(line));
+    } else if (key == "streaming.window_stride") {
+      MDRR_ASSIGN_OR_RETURN(spec.streaming.window_stride, ParseOneUint(line));
+    } else if (key == "streaming.window_epsilon") {
+      MDRR_ASSIGN_OR_RETURN(spec.streaming.window_epsilon,
+                            ParseOneDouble(line));
+    } else if (key == "streaming.max_windows") {
+      MDRR_ASSIGN_OR_RETURN(spec.streaming.max_windows, ParseOneUint(line));
     } else if (key == "execution.policy") {
       MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
       MDRR_ASSIGN_OR_RETURN(spec.execution.kind, PolicyKindFromString(token));
@@ -594,6 +623,130 @@ Status WriteReleaseArtifacts(const ReleaseArtifacts& artifacts,
 StatusOr<ReleaseArtifacts> ReadReleaseArtifacts(const std::string& path) {
   MDRR_ASSIGN_OR_RETURN(std::string text, ReadText(path));
   return ParseReleaseArtifacts(text);
+}
+
+
+// ---------------------------------------------------------------------------
+// StreamingSnapshot.
+// ---------------------------------------------------------------------------
+
+std::string PrintStreamingSnapshot(const StreamingSnapshot& snapshot) {
+  std::string out;
+  out += kSnapshotHeader;
+  out += '\n';
+
+  AppendLine(out, "next_sequence", snapshot.next_sequence);
+  AppendLine(out, "next_window", snapshot.next_window);
+  AppendLine(out, "epsilon_spent", snapshot.epsilon_spent);
+  AppendDoubleList(out, "window_epsilons", snapshot.window_epsilons);
+  AppendIndexList(out, "cardinalities", snapshot.cardinalities);
+
+  // "bucket <index> <reports> <counts...>": counts stay signed so any
+  // in-memory snapshot round-trips and Resume gets to reject it.
+  for (const StreamingSnapshot::BucketCounts& bucket : snapshot.buckets) {
+    out += "bucket ";
+    out += std::to_string(bucket.bucket);
+    out += ' ';
+    out += std::to_string(bucket.num_reports);
+    for (int64_t count : bucket.counts) {
+      out += ' ';
+      out += std::to_string(count);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<StreamingSnapshot> ParseStreamingSnapshot(const std::string& text) {
+  std::vector<SpecLine> lines = TokenizeLines(text);
+  if (lines.empty() || lines.front().key + (lines.front().rest.empty()
+                                                ? ""
+                                                : " " + lines.front().rest) !=
+                           kSnapshotHeader) {
+    return Status::InvalidArgument(std::string("expected header '") +
+                                   kSnapshotHeader + "'");
+  }
+
+  StreamingSnapshot snapshot;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const SpecLine& line = lines[i];
+    const std::string& key = line.key;
+    if (key == "next_sequence") {
+      MDRR_ASSIGN_OR_RETURN(snapshot.next_sequence, ParseOneUint(line));
+    } else if (key == "next_window") {
+      MDRR_ASSIGN_OR_RETURN(snapshot.next_window, ParseOneUint(line));
+    } else if (key == "epsilon_spent") {
+      MDRR_ASSIGN_OR_RETURN(snapshot.epsilon_spent, ParseOneDouble(line));
+    } else if (key == "window_epsilons") {
+      MDRR_ASSIGN_OR_RETURN(snapshot.window_epsilons, ParseDoubleList(line));
+    } else if (key == "cardinalities") {
+      MDRR_ASSIGN_OR_RETURN(snapshot.cardinalities, ParseIndexList(line));
+    } else if (key == "bucket") {
+      if (line.tokens.size() < 2) {
+        return Status::InvalidArgument("malformed bucket line");
+      }
+      StreamingSnapshot::BucketCounts bucket;
+      MDRR_ASSIGN_OR_RETURN(int64_t index, ParseInt64(line.tokens[0]));
+      MDRR_ASSIGN_OR_RETURN(int64_t reports, ParseInt64(line.tokens[1]));
+      if (index < 0 || reports < 0) {
+        return Status::InvalidArgument("malformed bucket line");
+      }
+      bucket.bucket = static_cast<uint64_t>(index);
+      bucket.num_reports = static_cast<uint64_t>(reports);
+      bucket.counts.reserve(line.tokens.size() - 2);
+      for (size_t t = 2; t < line.tokens.size(); ++t) {
+        MDRR_ASSIGN_OR_RETURN(int64_t count, ParseInt64(line.tokens[t]));
+        bucket.counts.push_back(count);
+      }
+      snapshot.buckets.push_back(std::move(bucket));
+    } else {
+      return Status::InvalidArgument("unknown snapshot key '" + key + "'");
+    }
+  }
+  return snapshot;
+}
+
+Status WriteStreamingSnapshot(const StreamingSnapshot& snapshot,
+                              const std::string& path) {
+  return WriteText(PrintStreamingSnapshot(snapshot), path);
+}
+
+StatusOr<StreamingSnapshot> ReadStreamingSnapshot(const std::string& path) {
+  MDRR_ASSIGN_OR_RETURN(std::string text, ReadText(path));
+  return ParseStreamingSnapshot(text);
+}
+
+// ---------------------------------------------------------------------------
+// Window transcripts.
+// ---------------------------------------------------------------------------
+
+std::string PrintStreamWindows(const std::vector<StreamWindow>& windows) {
+  std::string out;
+  for (const StreamWindow& window : windows) {
+    out += "window ";
+    out += std::to_string(window.index);
+    out += ' ';
+    out += std::to_string(window.begin_sequence);
+    out += ' ';
+    out += std::to_string(window.end_sequence);
+    out += ' ';
+    out += std::to_string(window.num_reports);
+    out += window.released ? " released " : " suppressed ";
+    AppendDouble(out, window.epsilon);
+    out += '\n';
+    if (!window.released) continue;
+    for (const std::vector<double>& marginal :
+         window.artifacts.marginal_estimates) {
+      out += "marginal ";
+      out += std::to_string(marginal.size());
+      for (double p : marginal) {
+        out += ' ';
+        AppendDouble(out, p);
+      }
+      out += '\n';
+    }
+  }
+  return out;
 }
 
 }  // namespace mdrr::release

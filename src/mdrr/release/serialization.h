@@ -18,10 +18,12 @@
 #define MDRR_RELEASE_SERIALIZATION_H_
 
 #include <string>
+#include <vector>
 
 #include "mdrr/common/status_or.h"
 #include "mdrr/release/artifacts.h"
 #include "mdrr/release/spec.h"
+#include "mdrr/release/streaming.h"
 
 namespace mdrr::release {
 
@@ -35,6 +37,23 @@ StatusOr<ReleaseArtifacts> ParseReleaseArtifacts(const std::string& text);
 Status WriteReleaseArtifacts(const ReleaseArtifacts& artifacts,
                              const std::string& path);
 StatusOr<ReleaseArtifacts> ReadReleaseArtifacts(const std::string& path);
+
+// StreamingSnapshot (`mdrr-streaming-snapshot v1`): the resumable
+// collector state -- sequence and window cursors, the per-window
+// epsilon ledger, and the pending bucket counts. Print/Parse round-trips
+// it exactly (counts are integers, doubles print at full precision).
+std::string PrintStreamingSnapshot(const StreamingSnapshot& snapshot);
+StatusOr<StreamingSnapshot> ParseStreamingSnapshot(const std::string& text);
+Status WriteStreamingSnapshot(const StreamingSnapshot& snapshot,
+                              const std::string& path);
+StatusOr<StreamingSnapshot> ReadStreamingSnapshot(const std::string& path);
+
+// Deterministic text transcript of a window sequence: one `window` line
+// per emitted window (index, range, reports, released flag, epsilon)
+// followed by the released windows' artifact summaries. Two streaming
+// runs are bit-identical iff their transcripts match -- the replay
+// equality observable used by tests, the bench stage, and mdrr_collectd.
+std::string PrintStreamWindows(const std::vector<StreamWindow>& windows);
 
 }  // namespace mdrr::release
 

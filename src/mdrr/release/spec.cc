@@ -24,7 +24,8 @@ bool operator==(const MechanismSpec& a, const MechanismSpec& b) {
          a.clustering.max_combinations == b.clustering.max_combinations &&
          a.clustering.min_dependence == b.clustering.min_dependence &&
          a.dependence_source == b.dependence_source &&
-         a.use_paper_epsilon_formula == b.use_paper_epsilon_formula;
+         a.use_paper_epsilon_formula == b.use_paper_epsilon_formula &&
+         a.geometric_epsilon == b.geometric_epsilon;
 }
 
 bool operator==(const AdjustmentSpec& a, const AdjustmentSpec& b) {
@@ -39,6 +40,14 @@ bool operator==(const SyntheticSpec& a, const SyntheticSpec& b) {
 bool operator==(const EvaluationSpec& a, const EvaluationSpec& b) {
   return a.utility_report == b.utility_report && a.sigmas == b.sigmas &&
          a.queries_per_sigma == b.queries_per_sigma && a.seed == b.seed;
+}
+
+bool operator==(const StreamingSpec& a, const StreamingSpec& b) {
+  return a.enabled == b.enabled && a.window_kind == b.window_kind &&
+         a.window_size == b.window_size &&
+         a.window_stride == b.window_stride &&
+         a.window_epsilon == b.window_epsilon &&
+         a.max_windows == b.max_windows;
 }
 
 bool operator==(const ExecutionPolicy& a, const ExecutionPolicy& b) {
@@ -56,7 +65,8 @@ bool operator==(const ReleaseSpec& a, const ReleaseSpec& b) {
   return a.dataset == b.dataset && a.budget == b.budget &&
          a.mechanism == b.mechanism && a.adjustment == b.adjustment &&
          a.synthetic == b.synthetic && a.evaluation == b.evaluation &&
-         a.execution == b.execution && a.output == b.output;
+         a.streaming == b.streaming && a.execution == b.execution &&
+         a.output == b.output;
 }
 
 const char* ToString(MechanismKind kind) {
@@ -69,6 +79,8 @@ const char* ToString(MechanismKind kind) {
       return "clusters";
     case MechanismKind::kPram:
       return "pram";
+    case MechanismKind::kGeometricOrdinal:
+      return "geometric-ordinal";
   }
   return "unknown";
 }
@@ -116,6 +128,7 @@ StatusOr<MechanismKind> MechanismKindFromString(std::string_view token) {
   if (token == "joint") return MechanismKind::kJoint;
   if (token == "clusters") return MechanismKind::kClusters;
   if (token == "pram") return MechanismKind::kPram;
+  if (token == "geometric-ordinal") return MechanismKind::kGeometricOrdinal;
   return Status::InvalidArgument("unknown mechanism kind '" +
                                  std::string(token) + "'");
 }
@@ -124,6 +137,23 @@ StatusOr<PolicyKind> PolicyKindFromString(std::string_view token) {
   if (token == "sequential") return PolicyKind::kSequential;
   if (token == "sharded") return PolicyKind::kSharded;
   return Status::InvalidArgument("unknown execution policy '" +
+                                 std::string(token) + "'");
+}
+
+const char* ToString(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kTumbling:
+      return "tumbling";
+    case WindowKind::kSliding:
+      return "sliding";
+  }
+  return "unknown";
+}
+
+StatusOr<WindowKind> WindowKindFromString(std::string_view token) {
+  if (token == "tumbling") return WindowKind::kTumbling;
+  if (token == "sliding") return WindowKind::kSliding;
+  return Status::InvalidArgument("unknown window kind '" +
                                  std::string(token) + "'");
 }
 
@@ -170,11 +200,12 @@ Status ValidateGroups(const AdjustmentSpec& adjustment, MechanismKind kind,
       }
     }
     if ((kind == MechanismKind::kIndependent ||
+         kind == MechanismKind::kGeometricOrdinal ||
          kind == MechanismKind::kPram) &&
         group.size() != 1) {
       return Status::InvalidArgument(
-          "the independent and pram mechanisms only constrain "
-          "single-attribute marginals; got a group of " +
+          "per-attribute mechanisms only constrain single-attribute "
+          "marginals; got a group of " +
           std::to_string(group.size()) + " attributes");
     }
   }
@@ -248,6 +279,14 @@ Status ValidateReleaseSpec(const ReleaseSpec& spec, size_t num_attributes) {
             "carries no matrix); use RunRrClustersWith directly");
       }
       break;
+    case MechanismKind::kGeometricOrdinal:
+      if (std::isnan(spec.mechanism.geometric_epsilon) ||
+          !std::isfinite(spec.mechanism.geometric_epsilon) ||
+          spec.mechanism.geometric_epsilon <= 0.0) {
+        return Status::InvalidArgument(
+            "mechanism.geometric_epsilon must be > 0 and finite");
+      }
+      break;
     case MechanismKind::kIndependent:
     case MechanismKind::kPram:
       break;
@@ -302,6 +341,62 @@ Status ValidateReleaseSpec(const ReleaseSpec& spec, size_t num_attributes) {
         return Status::InvalidArgument(
             "evaluation.sigmas entries must be in (0, 1]");
       }
+    }
+  }
+
+  // Streaming.
+  if (spec.streaming.enabled) {
+    if (spec.streaming.window_size == 0) {
+      return Status::InvalidArgument("streaming.window_size must be > 0");
+    }
+    if (spec.mechanism.kind != MechanismKind::kIndependent &&
+        spec.mechanism.kind != MechanismKind::kGeometricOrdinal) {
+      return Status::InvalidArgument(
+          "streaming releases re-estimate per-attribute marginals from "
+          "merged counts; use the independent or geometric-ordinal "
+          "mechanism");
+    }
+    switch (spec.streaming.window_kind) {
+      case WindowKind::kTumbling:
+        if (spec.streaming.window_stride != 0 &&
+            spec.streaming.window_stride != spec.streaming.window_size) {
+          return Status::InvalidArgument(
+              "tumbling windows have stride == size (omit "
+              "streaming.window_stride)");
+        }
+        break;
+      case WindowKind::kSliding:
+        if (spec.streaming.window_stride == 0 ||
+            spec.streaming.window_stride >= spec.streaming.window_size ||
+            spec.streaming.window_size % spec.streaming.window_stride != 0) {
+          return Status::InvalidArgument(
+              "sliding windows need streaming.window_stride in (0, "
+              "window_size) dividing window_size");
+        }
+        break;
+    }
+    if (std::isnan(spec.streaming.window_epsilon) ||
+        !std::isfinite(spec.streaming.window_epsilon) ||
+        spec.streaming.window_epsilon < 0.0) {
+      return Status::InvalidArgument(
+          "streaming.window_epsilon must be >= 0 and finite (0 derives it "
+          "from the design)");
+    }
+    if (spec.adjustment.enabled) {
+      return Status::InvalidArgument(
+          "streaming releases marginal estimates only; disable adjustment");
+    }
+    if (spec.synthetic.enabled) {
+      return Status::InvalidArgument(
+          "streaming releases marginal estimates only; disable synthetic "
+          "output");
+    }
+  } else {
+    if (spec.streaming.window_size != 0 || spec.streaming.window_stride != 0 ||
+        spec.streaming.window_epsilon != 0.0 ||
+        spec.streaming.max_windows != 0) {
+      return Status::InvalidArgument(
+          "streaming.* given but streaming is disabled");
     }
   }
 

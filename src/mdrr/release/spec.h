@@ -33,6 +33,11 @@ enum class MechanismKind {
   kJoint,        // Protocol 2: one RR over a product domain.
   kClusters,     // Section 4: assess, cluster, RR-Joint per cluster.
   kPram,         // Controller-side post-randomization (Section 2.1).
+  // Protocol 1 over the distance-sensitive ordinal design
+  // (RrMatrix::GeometricOrdinal; the paper's Section 8 direction):
+  // per-attribute RR where every attribute's matrix has Expression (4)
+  // epsilon mechanism.geometric_epsilon exactly.
+  kGeometricOrdinal,
 };
 
 // How the plan executes. kSequential is the single-stream reference path
@@ -86,6 +91,9 @@ struct MechanismSpec {
   ClusteringOptions clustering;
   DependenceSource dependence_source = DependenceSource::kRandomizedResponse;
   bool use_paper_epsilon_formula = false;
+  // kGeometricOrdinal: the per-attribute Expression (4) epsilon of the
+  // geometric design. Must be > 0 and finite.
+  double geometric_epsilon = 1.0;
 };
 
 // Optional Algorithm 2 marginal adjustment over the randomized records.
@@ -116,6 +124,41 @@ struct EvaluationSpec {
   uint64_t seed = 1;
 };
 
+// How window boundaries are drawn over the report sequence.
+enum class WindowKind {
+  kTumbling,  // Disjoint windows of window_size consecutive reports.
+  kSliding,   // Overlapping windows advancing by window_stride reports.
+};
+
+// Optional always-on collection mode: instead of one batch release, the
+// plan runs as a streaming collector (release/streaming.h) that emits
+// one estimation summary per window of arrived reports. Estimation is
+// incremental -- windows are re-estimated from merged integer counts,
+// never from the records -- and each released window charges its epsilon
+// against budget.max_total_epsilon; when the cap would be exceeded the
+// collector keeps counting but stops releasing (fail-closed, graceful
+// degradation). Streaming supports the per-attribute mechanisms
+// (independent, geometric-ordinal) and no post-processing sections.
+struct StreamingSpec {
+  bool enabled = false;
+  WindowKind window_kind = WindowKind::kTumbling;
+  // Reports per window. Required (> 0) when enabled.
+  uint64_t window_size = 0;
+  // Reports between consecutive window starts. Sliding only: must
+  // divide window_size and be < window_size. 0 means window_size
+  // (which is also the only legal tumbling value).
+  uint64_t window_stride = 0;
+  // Epsilon charged to the ledger per released window. 0 means "derive
+  // from the design": the sum of the per-attribute Expression (4)
+  // epsilons of the mechanism's matrices. A positive value is a
+  // declared conservative accounting level and must be at least the
+  // derived epsilon (checked when the plan runs, where the schema is
+  // known).
+  double window_epsilon = 0.0;
+  // Stop emitting after this many windows; 0 means unbounded.
+  uint64_t max_windows = 0;
+};
+
 // The single execution policy every stage obeys. This subsumes the
 // per-stage seed/threads/shard knobs of the implementation layer:
 // `seed` and `shard_size` are part of the randomness contract,
@@ -141,6 +184,7 @@ struct ReleaseSpec {
   AdjustmentSpec adjustment;
   SyntheticSpec synthetic;
   EvaluationSpec evaluation;
+  StreamingSpec streaming;
   ExecutionPolicy execution;
   OutputSpec output;
 };
@@ -151,6 +195,7 @@ bool operator==(const MechanismSpec& a, const MechanismSpec& b);
 bool operator==(const AdjustmentSpec& a, const AdjustmentSpec& b);
 bool operator==(const SyntheticSpec& a, const SyntheticSpec& b);
 bool operator==(const EvaluationSpec& a, const EvaluationSpec& b);
+bool operator==(const StreamingSpec& a, const StreamingSpec& b);
 bool operator==(const ExecutionPolicy& a, const ExecutionPolicy& b);
 bool operator==(const OutputSpec& a, const OutputSpec& b);
 bool operator==(const ReleaseSpec& a, const ReleaseSpec& b);
@@ -163,8 +208,10 @@ const char* ToString(MechanismKind kind);
 const char* ToString(PolicyKind kind);
 const char* ToString(DatasetSpec::Source source);
 const char* ToString(DependenceSource source);
+const char* ToString(WindowKind kind);
 StatusOr<MechanismKind> MechanismKindFromString(std::string_view token);
 StatusOr<PolicyKind> PolicyKindFromString(std::string_view token);
+StatusOr<WindowKind> WindowKindFromString(std::string_view token);
 StatusOr<DatasetSpec::Source> DatasetSourceFromString(std::string_view token);
 StatusOr<DependenceSource> DependenceSourceFromString(std::string_view token);
 

@@ -279,8 +279,47 @@ TEST(FuzzReleaseSpec, ContradictorySpecsAreRejected) {
     bad.push_back(spec);
   }
 
+  // Streaming contradictions (validator-level: the batch planner refuses
+  // ALL streaming specs, so rejection through ExpectSpecRejected alone
+  // would not prove the streaming rules fire; assert on the validator).
+  std::vector<release::ReleaseSpec> bad_streaming;
+  {
+    release::ReleaseSpec spec;
+    spec.mechanism.kind = release::MechanismKind::kIndependent;
+    spec.streaming.enabled = true;
+    bad_streaming.push_back(spec);  // No window size.
+    spec.streaming.window_size = 100;
+    spec.streaming.window_stride = 40;  // Tumbling stride != size.
+    bad_streaming.push_back(spec);
+    spec.streaming.window_kind = release::WindowKind::kSliding;
+    spec.streaming.window_stride = 0;  // Sliding needs a stride...
+    bad_streaming.push_back(spec);
+    spec.streaming.window_stride = 100;  // ...strictly below the size...
+    bad_streaming.push_back(spec);
+    spec.streaming.window_stride = 30;  // ...that divides it.
+    bad_streaming.push_back(spec);
+    spec.streaming.window_stride = 50;
+    spec.streaming.window_epsilon = -1.0;  // Negative charge.
+    bad_streaming.push_back(spec);
+    spec.streaming.window_epsilon = std::nan("");
+    bad_streaming.push_back(spec);
+    spec.streaming.window_epsilon = 0.0;
+    spec.adjustment.enabled = true;  // Batch-only stage.
+    bad_streaming.push_back(spec);
+    spec.adjustment.enabled = false;
+    spec.mechanism.kind = release::MechanismKind::kClusters;
+    bad_streaming.push_back(spec);  // Streaming is per-attribute marginals only.
+    spec = release::ReleaseSpec{};
+    spec.streaming.max_windows = 3;  // Knobs without streaming.enabled.
+    bad_streaming.push_back(spec);
+  }
+
   for (const release::ReleaseSpec& spec : bad) {
     ExpectSpecRejected(spec, ds);
+  }
+  for (const release::ReleaseSpec& spec : bad_streaming) {
+    EXPECT_FALSE(release::ValidateReleaseSpec(spec, ds.num_attributes()).ok())
+        << release::PrintReleaseSpec(spec);
   }
 
   // kProvided source without a dataset pointer.
@@ -378,6 +417,58 @@ TEST(FuzzReleaseSpec, MutatedArtifactsTextNeverCrashes) {
       }
     }
     release::ParseReleaseArtifacts(mutated);  // ok or error, never a crash.
+  }
+}
+
+// And for the streaming-snapshot parser: a corrupted resume file must
+// come back as a status (or parse into something Resume rejects), never
+// crash the collector.
+TEST(FuzzReleaseSpec, MutatedSnapshotTextNeverCrashes) {
+  const std::string text =
+      "mdrr-streaming-snapshot v1\n"
+      "next_sequence 1130\n"
+      "next_window 4\n"
+      "epsilon_spent 5.3\n"
+      "window_epsilons 2.65 0 2.65 0\n"
+      "cardinalities 3 2 4\n"
+      "bucket 5 200 60 70 70 140 60 50 50 50 50\n"
+      "bucket 6 130 40 45 45 91 39 33 33 32 32\n";
+  ASSERT_TRUE(release::ParseStreamingSnapshot(text).ok());
+
+  Rng rng(2028);
+  const char garbage[] = "#\n \t-eXz0987.,;inf nan 1e999";
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = text;
+    switch (rng.UniformInt(3)) {
+      case 0: {
+        size_t at = rng.UniformInt(mutated.size());
+        mutated[at] = garbage[rng.UniformInt(sizeof(garbage) - 1)];
+        break;
+      }
+      case 1: {
+        size_t at = rng.UniformInt(mutated.size());
+        mutated.erase(at, 1 + rng.UniformInt(40));
+        break;
+      }
+      default: {
+        size_t at = rng.UniformInt(mutated.size());
+        mutated.insert(at, &garbage[rng.UniformInt(sizeof(garbage) - 1)]);
+        break;
+      }
+    }
+    auto parsed = release::ParseStreamingSnapshot(mutated);
+    if (parsed.ok()) {
+      // Whatever parsed must be either resumable or cleanly refused.
+      release::ReleaseSpec spec;
+      spec.mechanism.kind = release::MechanismKind::kIndependent;
+      spec.streaming.enabled = true;
+      spec.streaming.window_size = 400;
+      spec.streaming.window_kind = release::WindowKind::kSliding;
+      spec.streaming.window_stride = 200;
+      release::StreamingCollector::Resume(
+          spec, {3, 2, 4}, release::StreamingCollectorOptions{},
+          parsed.value());
+    }
   }
 }
 

@@ -27,6 +27,13 @@
 //       selects the sequential policy, which is bit-identical to calling
 //       the stage functions directly with one Rng(seed).
 //
+//       A spec with streaming.enabled runs through the windowed streaming
+//       collector instead of a batch plan: the spec's dataset replays as
+//       a fixed arrival schedule and stdout is the per-window transcript
+//       ([--ingest_threads=T] [--shards=S] [--reports=N] tune throughput
+//       and stream length, never the output). The full service -- pause,
+//       snapshot, resume, verify -- is tools/mdrr_collectd.cc.
+//
 //       --dump-spec prints the ReleaseSpec equivalent of the given flags
 //       (or normalizes --spec) and exits without running -- the
 //       migration aid from flag soup to spec files.
@@ -45,7 +52,9 @@
 #include "mdrr/core/privacy.h"
 #include "mdrr/core/risk.h"
 #include "mdrr/core/rr_matrix.h"
+#include "mdrr/dataset/adult.h"
 #include "mdrr/dataset/csv.h"
+#include "mdrr/protocol/stream_ingest.h"
 #include "mdrr/release/planner.h"
 #include "mdrr/release/serialization.h"
 
@@ -169,6 +178,47 @@ StatusOr<mdrr::release::ReleaseSpec> SpecFromFlags(const FlagSet& flags) {
   return spec;
 }
 
+// A streaming spec replays its dataset through the windowed collector
+// (protocol::RunStreamingReplay) instead of a batch ReleasePlan. Stdout
+// is the window transcript -- byte-identical for any --ingest_threads /
+// --shards at a fixed spec -- plus the ledger line.
+int RunStreamingSpec(const FlagSet& flags,
+                     const mdrr::release::ReleaseSpec& spec) {
+  namespace release = mdrr::release;
+  StatusOr<Dataset> dataset = [&]() -> StatusOr<Dataset> {
+    switch (spec.dataset.source) {
+      case release::DatasetSpec::Source::kCsvFile:
+        return mdrr::ReadCsvDataset(spec.dataset.csv_path,
+                                    spec.dataset.csv_has_header);
+      case release::DatasetSpec::Source::kSyntheticAdult:
+        return mdrr::SynthesizeAdult(spec.dataset.synthetic_records,
+                                     spec.dataset.synthetic_seed);
+      case release::DatasetSpec::Source::kProvided:
+        return Status::InvalidArgument(
+            "streaming runs need an owned dataset source (csv or "
+            "synthetic-adult)");
+    }
+    return Status::Internal("unknown dataset source");
+  }();
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  mdrr::protocol::StreamingReplayOptions options;
+  options.num_ingest_threads =
+      static_cast<size_t>(flags.GetInt("ingest_threads", 1));
+  options.collector.num_shards =
+      static_cast<size_t>(flags.GetInt("shards", 1));
+  options.total_reports = static_cast<uint64_t>(flags.GetInt("reports", 0));
+  auto run = mdrr::protocol::RunStreamingReplay(spec, dataset.value(),
+                                                options);
+  if (!run.ok()) return Fail(run.status());
+  std::fputs(release::PrintStreamWindows(run.value().windows).c_str(),
+             stdout);
+  std::printf("streamed %llu reports; epsilon spent %.6g\n",
+              static_cast<unsigned long long>(run.value().reports_ingested),
+              run.value().epsilon_spent);
+  return 0;
+}
+
 int CmdRun(const FlagSet& flags) {
   namespace release = mdrr::release;
 
@@ -187,6 +237,8 @@ int CmdRun(const FlagSet& flags) {
     std::fputs(release::PrintReleaseSpec(spec).c_str(), stdout);
     return 0;
   }
+
+  if (spec.streaming.enabled) return RunStreamingSpec(flags, spec);
 
   auto plan = release::ReleasePlanner::Plan(spec);
   if (!plan.ok()) return Fail(plan.status());
