@@ -22,6 +22,15 @@
 //   --json_out=F   write the stage table as JSON (BENCH_pipeline.json
 //                  baseline format)
 //
+// The rng-policy stage reads differently from every other row: its two
+// columns are the two RNG policies at the SAME thread count (t1 =
+// mt19937, tN = philox), so "speedup" is philox's throughput win over
+// the sequential-stream mt19937 engine rather than a thread-scaling
+// ratio. Its identical bit asserts each policy's own determinism
+// contract -- mt19937 across thread counts, philox across thread counts
+// AND shard grains -- plus that the two policies produce different
+// transcripts (they are distinct generators, not aliases).
+//
 // The two estimate-joint stages exercise the Eq. (2) fast estimation
 // backend at high cardinality: the structured stage additionally asserts
 // (via linalg::LuFactorizationCount) that the O(r) closed-form path
@@ -54,6 +63,7 @@
 #include "mdrr/protocol/stream_ingest.h"
 #include "mdrr/release/planner.h"
 #include "mdrr/release/serialization.h"
+#include "mdrr/rng/counter_rng.h"
 #include "mdrr/rng/rng.h"
 
 namespace {
@@ -99,12 +109,14 @@ bool SameMatrix(const mdrr::linalg::Matrix& a, const mdrr::linalg::Matrix& b) {
   return true;
 }
 
-BatchPerturbationEngine MakeEngine(const mdrr::FlagSet& flags,
-                                   size_t threads) {
+BatchPerturbationEngine MakeEngine(const mdrr::FlagSet& flags, size_t threads,
+                                   mdrr::RngKind rng =
+                                       mdrr::RngKind::kMt19937) {
   BatchPerturbationOptions options;
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.num_threads = threads;
   options.shard_size = static_cast<size_t>(flags.GetInt("shard", 1 << 16));
+  options.rng = rng;
   return BatchPerturbationEngine(options);
 }
 
@@ -164,6 +176,44 @@ int main(int argc, char** argv) {
                      independent_many.value().estimated) &&
            SameData(independent_one.value().randomized,
                     independent_many.value().randomized)});
+  PrintStage(stages.back());
+
+  // --- RNG policy: the same RR-Independent workload under the mt19937
+  // engine vs the counter-based philox backend. Both columns run at
+  // --threads threads, so the ratio is the policy's throughput win, not
+  // thread scaling (t1 = mt19937, reused from the stage above; tN =
+  // philox). The identical bit covers philox's full determinism
+  // contract: thread-count invariance, shard-grain invariance (the
+  // draws are element-addressed, so resharding must not move a single
+  // output), and divergence from the mt19937 transcript. ---
+  BatchPerturbationEngine philox_single =
+      MakeEngine(flags, 1, mdrr::RngKind::kPhilox);
+  BatchPerturbationEngine philox_parallel =
+      MakeEngine(flags, threads, mdrr::RngKind::kPhilox);
+  auto philox_one = philox_single.RunIndependent(data, independent_options);
+  timer.Restart();
+  auto philox_many =
+      philox_parallel.RunIndependent(data, independent_options);
+  double philox_tn = timer.Seconds();
+  BatchPerturbationOptions regrain_options = philox_parallel.options();
+  regrain_options.shard_size =
+      std::max<size_t>(1, regrain_options.shard_size / 2) + 1;
+  auto philox_regrain = BatchPerturbationEngine(regrain_options)
+                            .RunIndependent(data, independent_options);
+  if (!philox_one.ok() || !philox_many.ok() || !philox_regrain.ok()) {
+    std::fprintf(stderr, "philox RR-Independent failed\n");
+    return 1;
+  }
+  bool philox_same =
+      SameData(philox_one.value().randomized,
+               philox_many.value().randomized) &&
+      SameEstimates(philox_one.value().estimated,
+                    philox_many.value().estimated) &&
+      SameData(philox_many.value().randomized,
+               philox_regrain.value().randomized) &&
+      !SameData(philox_one.value().randomized,
+                independent_one.value().randomized);
+  stages.push_back({"rng-policy", independent_tn, philox_tn, philox_same});
   PrintStage(stages.back());
 
   // --- Dependence assessment (Corollary 1 pairwise statistics). ---

@@ -16,22 +16,26 @@ namespace {
 // perturbation family at the same engine seed.
 constexpr uint64_t kSyntheticStreamSalt = 0x53594e5448455349ULL;  // "SYNTHESI"
 
-// Randomizes `input` through `matrix`, shard by shard. Shard s covers
-// rows [s * shard_size, min(n, (s + 1) * shard_size)) and draws
-// exclusively from family.Stream(stream_base + s), so the output is a
-// pure function of (matrix, input, family, stream_base, shard_size).
+// Randomizes `input` through `matrix`, shard by shard. Under kMt19937,
+// shard s covers rows [s * shard_size, min(n, (s + 1) * shard_size)) and
+// draws exclusively from family.Stream(stream_base + s), so the output is
+// a pure function of (matrix, input, family, stream_base, shard_size).
+// Under kPhilox the shards are mere work slices: every element draws its
+// own counter block of philox stream `counter_stream` at the engine seed
+// (RandomizeRangeCounterInto), so the output is a pure function of
+// (matrix, input, seed, counter_stream) -- shard_size drops out entirely.
 // Counts are accumulated per *worker* (O(threads x r) memory, not
 // O(shards x r) -- joint domains can be huge) and merged after the join;
 // integer sums commute, so the totals are deterministic even though the
-// shard-to-worker assignment is not. The inner kernel is the inline
-// RandomizeRangeInto of rr_matrix.h -- the same branch-predictable
-// structured sweep the protocol session's PartyBlock publishes through,
-// with the mixing weight precomputed at matrix construction.
+// shard-to-worker assignment is not. The inner kernels are the
+// branch-predictable structured sweeps of rr_matrix.h, with the mixing
+// weight precomputed at matrix construction.
 PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
                                      const std::vector<uint32_t>& input,
                                      const RngStreamFamily& family,
                                      uint64_t stream_base, size_t shard_size,
-                                     size_t num_threads) {
+                                     size_t num_threads, RngKind kind,
+                                     uint64_t counter_stream) {
   const size_t n = input.size();
   PerturbedColumn result;
   result.codes.resize(n);
@@ -42,6 +46,12 @@ PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
 
   ParallelChunks(n, shard_size, num_threads,
                  [&](size_t worker, size_t shard, size_t begin, size_t end) {
+                   if (kind == RngKind::kPhilox) {
+                     matrix.RandomizeRangeCounterInto(
+                         input, begin, end, family.base_seed(), counter_stream,
+                         result.codes.data(), worker_counts[worker].data());
+                     return;
+                   }
                    Rng rng = family.Stream(stream_base + shard);
                    matrix.RandomizeRangeInto(input, begin, end, rng,
                                              result.codes.data(),
@@ -79,8 +89,9 @@ StatusOr<RrIndependentResult> BatchPerturbationEngine::RunIndependent(
                                   size_t column_index) {
         return PerturbColumnSharded(matrix, codes, family,
                                     1 + column_index * num_shards,
-                                    options_.shard_size,
-                                    options_.num_threads);
+                                    options_.shard_size, options_.num_threads,
+                                    options_.rng,
+                                    /*counter_stream=*/1 + column_index);
       });
 }
 
@@ -98,7 +109,8 @@ StatusOr<RrJointResult> BatchPerturbationEngine::RunJoint(
             return PerturbColumnSharded(matrix, codes, family,
                                         /*stream_base=*/1,
                                         options_.shard_size,
-                                        options_.num_threads);
+                                        options_.num_threads, options_.rng,
+                                        /*counter_stream=*/1);
           }));
   // Estimation never draws randomness, so routing it through the engine's
   // workers keeps the output bit-identical to the sequential path.
@@ -126,7 +138,8 @@ StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
                 size_t /*column_index*/) {
               return PerturbColumnSharded(
                   matrix, codes, family, 1 + cluster_index * num_shards,
-                  options_.shard_size, options_.num_threads);
+                  options_.shard_size, options_.num_threads, options_.rng,
+                  /*counter_stream=*/1 + cluster_index);
             });
       },
       options_.num_threads, &assessment);

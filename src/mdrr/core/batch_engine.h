@@ -12,10 +12,18 @@
 // (same matrices, same estimator) but not bit-for-bit: the random bits
 // come from different streams.
 //
-// Stream layout for seed s: stream 0 is reserved for serial randomness
-// (the dependence-assessment round of RunClusters); perturbed column c
-// (attribute for Independent, cluster for Clusters, the composite column
-// for Joint) uses streams [1 + c * num_shards, 1 + (c + 1) * num_shards).
+// Stream layout for seed s (mt19937 policy): stream 0 is reserved for
+// serial randomness (the dependence-assessment round of RunClusters);
+// perturbed column c (attribute for Independent, cluster for Clusters,
+// the composite column for Joint) uses streams
+// [1 + c * num_shards, 1 + (c + 1) * num_shards).
+//
+// Under the philox policy (BatchPerturbationOptions::rng) perturbation
+// instead draws element-addressed counter blocks: column c is philox
+// stream 1 + c (1 for Joint) of the engine seed and record i is element i
+// of that stream, so the randomized columns are additionally invariant
+// under shard_size. Serial randomness and synthesis keep the mt19937
+// family either way.
 
 #ifndef MDRR_CORE_BATCH_ENGINE_H_
 #define MDRR_CORE_BATCH_ENGINE_H_
@@ -29,6 +37,7 @@
 #include "mdrr/core/rr_independent.h"
 #include "mdrr/core/rr_joint.h"
 #include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/counter_rng.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr {
@@ -38,10 +47,22 @@ struct BatchPerturbationOptions {
   // Worker threads; 0 means one per hardware core. Never changes results.
   size_t num_threads = 0;
   // Records per shard: the unit of work distribution and of RNG
-  // sub-stream assignment. Part of the randomness contract -- changing it
-  // reassigns records to streams, like changing the seed. 0 is clamped
-  // to 1.
+  // sub-stream assignment. Under kMt19937 this is part of the randomness
+  // contract -- changing it reassigns records to streams, like changing
+  // the seed. Under kPhilox it is pure work-distribution tuning: counter
+  // draws are addressed by record index, so output never depends on it.
+  // 0 is clamped to 1.
   size_t shard_size = 1 << 16;
+  // Perturbation stream engine. kMt19937 (default) keeps every committed
+  // transcript bit-identical; kPhilox switches perturbation to the
+  // counter-based element-addressed draws of counter_rng.h, whose output
+  // is invariant under thread count AND shard grain. The two policies
+  // produce different (each individually deterministic) transcripts.
+  // Serial randomness (RunClusters' dependence-assessment round on
+  // stream 0) and synthetic release stay on the mt19937 family under
+  // either policy: both are already grain/thread-invariant, and synthesis
+  // consumes shuffle draws the counter layout does not model.
+  RngKind rng = RngKind::kMt19937;
 };
 
 class BatchPerturbationEngine {

@@ -1,15 +1,28 @@
 #include "mdrr/core/perturber.h"
 
-#include "mdrr/core/estimator.h"
-
 namespace mdrr {
 
 ColumnPerturber SequentialPerturber(Rng& rng) {
   return [&rng](const RrMatrix& matrix, const std::vector<uint32_t>& codes,
                 size_t /*column_index*/) {
     PerturbedColumn result;
-    matrix.RandomizeColumnInto(codes, rng, result.codes);
-    result.lambda = EmpiricalDistribution(result.codes, matrix.size());
+    result.codes.resize(codes.size());
+    // Fused perturb+count: the frequency of each output category is
+    // accumulated inside the randomization sweep, so the column is
+    // traversed once instead of twice. λ̂ is then counts * (1/n) -- the
+    // exact arithmetic EmpiricalDistribution performs (reciprocal
+    // multiply, not per-entry division), so estimates are bit-identical
+    // to the unfused path.
+    std::vector<int64_t> counts(matrix.size(), 0);
+    matrix.RandomizeRangeInto(codes, 0, codes.size(), rng,
+                              result.codes.data(), counts.data());
+    result.lambda.assign(matrix.size(), 0.0);
+    if (!codes.empty()) {
+      const double inv_n = 1.0 / static_cast<double>(codes.size());
+      for (size_t v = 0; v < counts.size(); ++v) {
+        result.lambda[v] = static_cast<double>(counts[v]) * inv_n;
+      }
+    }
     return result;
   };
 }

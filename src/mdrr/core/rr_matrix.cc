@@ -133,6 +133,69 @@ void RrMatrix::RandomizeColumnInto(const std::vector<uint32_t>& codes,
                      /*counts=*/nullptr);
 }
 
+void RrMatrix::RandomizeRangeCounterInto(const std::vector<uint32_t>& codes,
+                                         size_t begin, size_t end,
+                                         uint64_t seed, uint64_t stream,
+                                         uint32_t* out,
+                                         int64_t* counts) const {
+  MDRR_CHECK_LE(end, codes.size());
+  // Fixed-size SoA staging: uniforms for a tile of elements are drawn in
+  // one pass (PhiloxFillElementDraws -- no loop-carried state, free to
+  // vectorize), then consumed by branch-predictable loops. The tile size
+  // is invisible in the output: draws are addressed by element index.
+  constexpr size_t kTile = 512;
+  double units[kTile];
+  uint64_t raws[kTile];
+
+  if (structured_) {
+    const double alpha = structured_alpha_;
+    if (alpha <= 0.0) {  // Identity design: no blocks are ever generated.
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t y = codes[i];
+        MDRR_DCHECK_LT(y, size_);
+        out[i] = y;
+        if (counts != nullptr) ++counts[y];
+      }
+      return;
+    }
+    for (size_t tile = begin; tile < end; tile += kTile) {
+      const size_t len = end - tile < kTile ? end - tile : kTile;
+      PhiloxFillElementDraws(seed, stream, tile, len, units, raws);
+      if (alpha >= 1.0) {  // Uniform replacement: only the raw word used.
+        for (size_t k = 0; k < len; ++k) {
+          const uint32_t y =
+              static_cast<uint32_t>(PhiloxBoundedFromRaw(raws[k], size_));
+          out[tile + k] = y;
+          if (counts != nullptr) ++counts[y];
+        }
+        continue;
+      }
+      for (size_t k = 0; k < len; ++k) {
+        MDRR_DCHECK_LT(codes[tile + k], size_);
+        const uint32_t y =
+            units[k] < alpha
+                ? static_cast<uint32_t>(PhiloxBoundedFromRaw(raws[k], size_))
+                : codes[tile + k];
+        out[tile + k] = y;
+        if (counts != nullptr) ++counts[y];
+      }
+    }
+    return;
+  }
+
+  for (size_t tile = begin; tile < end; tile += kTile) {
+    const size_t len = end - tile < kTile ? end - tile : kTile;
+    PhiloxFillElementDraws(seed, stream, tile, len, units, raws);
+    for (size_t k = 0; k < len; ++k) {
+      MDRR_DCHECK_LT(codes[tile + k], size_);
+      const uint32_t y =
+          row_samplers_[codes[tile + k]].SampleFrom(units[k], raws[k]);
+      out[tile + k] = y;
+      if (counts != nullptr) ++counts[y];
+    }
+  }
+}
+
 double RrMatrix::Epsilon() const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   if (structured_) {

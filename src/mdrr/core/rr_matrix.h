@@ -21,6 +21,7 @@
 #include "mdrr/linalg/matrix.h"
 #include "mdrr/linalg/structured.h"
 #include "mdrr/rng/alias_sampler.h"
+#include "mdrr/rng/counter_rng.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr {
@@ -158,6 +159,53 @@ class RrMatrix {
       out[i] = y;
       if (counts != nullptr) ++counts[y];
     }
+  }
+
+  // Counter-policy (philox) analogue of RandomizeRangeInto: randomizes
+  // codes[begin, end) into out[begin, end) drawing element i's randomness
+  // from ITS OWN 128-bit block of stream (seed, stream) -- the element
+  // layout of counter_rng.h. Because the draw plan is addressed by
+  // element index, never by consumption order, the output is a pure
+  // function of (matrix, codes, seed, stream): any [begin, end) tiling of
+  // a column -- any shard grain, thread count, or internal chunking --
+  // produces bit-identical columns. Draw plan per element (fixed budget,
+  // one block each, branches never shift later elements):
+  //   structured, alpha in (0, 1):  y = unit < alpha ? bounded(r) : code
+  //   structured, alpha >= 1:       y = bounded(r)
+  //   structured, alpha <= 0:       y = code   (block never generated)
+  //   dense:                        y = row_samplers_[code].SampleFrom
+  // This is a DIFFERENT documented transcript from the mt19937 kernels
+  // above; the two policies never share streams.
+  void RandomizeRangeCounterInto(const std::vector<uint32_t>& codes,
+                                 size_t begin, size_t end, uint64_t seed,
+                                 uint64_t stream, uint32_t* out,
+                                 int64_t* counts) const;
+
+  // Single-element counter draw: exactly what RandomizeRangeCounterInto
+  // computes for `element`, exposed for per-report paths (streaming
+  // ingest randomizes one record's attributes without buffering a
+  // column). Precondition u < size() is debug-only, like Randomize's.
+  uint32_t RandomizeCounter(uint32_t u, uint64_t seed, uint64_t stream,
+                            uint64_t element) const {
+    MDRR_DCHECK_LT(u, size_);
+    if (structured_) {
+      const double alpha = structured_alpha_;
+      if (alpha <= 0.0) return u;
+      const PhiloxBlock block = PhiloxElementBlock(seed, stream, element);
+      const uint64_t raw =
+          (static_cast<uint64_t>(block.w[3]) << 32) | block.w[2];
+      const uint32_t replacement =
+          static_cast<uint32_t>(PhiloxBoundedFromRaw(raw, size_));
+      if (alpha >= 1.0) return replacement;
+      const double unit = PhiloxUnitFromU64(
+          (static_cast<uint64_t>(block.w[1]) << 32) | block.w[0]);
+      return unit < alpha ? replacement : u;
+    }
+    const PhiloxBlock block = PhiloxElementBlock(seed, stream, element);
+    return row_samplers_[u].SampleFrom(
+        PhiloxUnitFromU64((static_cast<uint64_t>(block.w[1]) << 32) |
+                          block.w[0]),
+        (static_cast<uint64_t>(block.w[3]) << 32) | block.w[2]);
   }
 
   // The differential privacy level of Expression (4):

@@ -254,12 +254,119 @@ StatusOr<SessionResult> RunBatchedSession(
   return result;
 }
 
+// --- Counter (philox) path: the same message flow with element-addressed
+// party randomness. Round-1 attribute j draws from philox stream
+// kRound1StreamBase + j with party i as element i; round-2 cluster c from
+// kRound2StreamBase + c. No per-party seeding pass exists, so the
+// transcript is a pure function of (dataset, seed) invariant under thread
+// count AND shard grain by construction. The stream bases keep the
+// session's philox streams disjoint from the batch engine's column
+// streams (small integers) at the same seed. ---
+constexpr uint64_t kRound1StreamBase = 1ull << 33;
+constexpr uint64_t kRound2StreamBase = 1ull << 34;
+
+StatusOr<SessionResult> RunCounterSession(
+    const Dataset& dataset, const SessionOptions& options,
+    const release::ControllerPlan& controller) {
+  const size_t n = dataset.num_rows();
+  const size_t m = dataset.num_attributes();
+  const size_t shard_size = std::max<size_t>(1, options.shard_size);
+  const size_t threads = options.num_threads;
+  const uint64_t seed = options.seed;
+
+  SessionResult result;
+
+  // Round 1: per-attribute publication, one counter stream per attribute.
+  std::vector<RrMatrix> round1_matrices =
+      DesignRound1Matrices(dataset, options, &result);
+  std::vector<std::vector<uint32_t>> round1_columns(
+      m, std::vector<uint32_t>(n));
+  for (size_t j = 0; j < m; ++j) {
+    const std::vector<uint32_t>& column = dataset.column(j);
+    ParallelChunks(n, shard_size, threads,
+                   [&](size_t /*worker*/, size_t /*shard*/, size_t begin,
+                       size_t end) {
+                     round1_matrices[j].RandomizeRangeCounterInto(
+                         column, begin, end, seed, kRound1StreamBase + j,
+                         round1_columns[j].data(), /*counts=*/nullptr);
+                   });
+  }
+  Dataset round1_data(dataset.schema(), std::move(round1_columns));
+  result.messages_round1 = n;
+
+  MDRR_ASSIGN_OR_RETURN(result.clusters,
+                        controller.AssessAndCluster(round1_data));
+  result.messages_broadcast = n;
+
+  // Round 2: composite codes per cluster, one counter stream per cluster,
+  // with the controller's counting fused into the randomization pass
+  // (per-worker integer buffers; sums commute, so totals are independent
+  // of the shard-to-worker assignment).
+  MDRR_ASSIGN_OR_RETURN(
+      std::vector<RrMatrix> cluster_matrices,
+      DesignClusterMatrices(dataset, options, &result));
+  result.messages_round2 = n;
+  result.randomized = dataset;
+  std::vector<uint32_t> true_codes(n);
+  std::vector<uint32_t> codes(n);
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    const Domain& domain = result.cluster_domains[c];
+    const std::vector<size_t>& cluster = result.clusters[c];
+    const size_t r = cluster_matrices[c].size();
+
+    ParallelChunks(n, shard_size, threads,
+                   [&](size_t /*worker*/, size_t /*shard*/, size_t begin,
+                       size_t end) {
+                     std::vector<uint32_t> tuple(cluster.size());
+                     for (size_t i = begin; i < end; ++i) {
+                       for (size_t k = 0; k < cluster.size(); ++k) {
+                         tuple[k] = dataset.at(i, cluster[k]);
+                       }
+                       true_codes[i] =
+                           static_cast<uint32_t>(domain.Encode(tuple));
+                     }
+                   });
+
+    const size_t workers = ResolveWorkerCount(threads, n, shard_size);
+    std::vector<std::vector<int64_t>> worker_counts(
+        workers, std::vector<int64_t>(r, 0));
+    ParallelChunks(n, shard_size, threads,
+                   [&](size_t worker, size_t /*shard*/, size_t begin,
+                       size_t end) {
+                     cluster_matrices[c].RandomizeRangeCounterInto(
+                         true_codes, begin, end, seed, kRound2StreamBase + c,
+                         codes.data(), worker_counts[worker].data());
+                   });
+    stats::FrequencyTable total(std::vector<int64_t>(r, 0));
+    for (std::vector<int64_t>& partial : worker_counts) {
+      total.Absorb(stats::FrequencyTable(std::move(partial)));
+    }
+
+    MDRR_ASSIGN_OR_RETURN(
+        std::vector<double> estimated,
+        controller.EstimateFromCounts(cluster_matrices[c], total));
+    result.cluster_joints.push_back(std::move(estimated));
+    for (size_t position = 0; position < cluster.size(); ++position) {
+      result.randomized.SetColumn(
+          cluster[position], controller.DecodeColumn(domain, codes, position));
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
                                               const SessionOptions& options) {
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("a session needs at least one party");
+  }
+  if (options.rng == RngKind::kPhilox &&
+      options.execution == SessionExecution::kPartyLoop) {
+    return Status::InvalidArgument(
+        "the party-loop reference semantics are the mt19937 per-party "
+        "seeding transcript; run the philox policy with the batched "
+        "execution");
   }
   // The controller's stage work (dependence assessment, Algorithm 1,
   // Eq. (2) estimation, decode) goes through the release layer's
@@ -272,6 +379,9 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
           release::ExecutionPolicy{release::PolicyKind::kSharded,
                                    options.seed, options.num_threads,
                                    std::max<size_t>(1, options.shard_size)}));
+  if (options.rng == RngKind::kPhilox) {
+    return RunCounterSession(dataset, options, controller);
+  }
   if (options.execution == SessionExecution::kPartyLoop) {
     return RunPartyLoopSession(dataset, options, controller);
   }

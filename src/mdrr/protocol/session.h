@@ -26,6 +26,7 @@
 #include "mdrr/core/rr_joint.h"
 #include "mdrr/core/rr_matrix.h"
 #include "mdrr/dataset/dataset.h"
+#include "mdrr/rng/counter_rng.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr::protocol {
@@ -88,6 +89,17 @@ struct SessionOptions {
   size_t shard_size = 1 << 16;
   // Execution strategy for the party side; never changes results.
   SessionExecution execution = SessionExecution::kBatched;
+  // Party randomness policy. kMt19937 (default) is the committed
+  // transcript: party seeds drawn serially from one seeder, each party a
+  // self-contained engine. kPhilox replaces the per-party engines with
+  // element-addressed counter draws -- round-1 attribute j is one philox
+  // stream with party i as element i, round-2 cluster c another -- so no
+  // per-party seeding pass runs at all and the transcript is additionally
+  // invariant under shard grain by construction. A different (still
+  // deterministic) transcript from kMt19937; requires kBatched (the
+  // per-party reference loop IS the mt19937 seeding semantics, so
+  // kPartyLoop + kPhilox is rejected).
+  RngKind rng = RngKind::kMt19937;
 };
 
 struct SessionResult {
@@ -112,8 +124,9 @@ struct SessionResult {
 // (row i becomes party i). The dataset is used only to seed the parties'
 // private records; the controller path never touches it. The transcript
 // (publications, clustering, estimates, decoded release, epsilons,
-// message counts) is a pure function of (dataset, options.seed):
-// execution mode, thread count, and shard grain never change it.
+// message counts) is a pure function of (dataset, options.seed,
+// options.rng): execution mode, thread count, and shard grain never
+// change it.
 StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
                                               const SessionOptions& options);
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "mdrr/rng/counter_rng.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr::protocol {
@@ -56,15 +57,30 @@ StatusOr<StreamingReplayResult> RunStreamingReplay(
   std::atomic<bool> stop_drains{false};
   std::atomic<size_t> live_producers{num_producers};
 
+  // Per-report randomness. mt19937 (default): report s seeds a full
+  // sub-stream of the family -- a seed_seq expansion plus 312 words of
+  // twister state per report. philox: report s is philox stream s of the
+  // execution seed and attribute j its element j -- one 10-round counter
+  // evaluation per attribute, no state to initialize, and the transcript
+  // is identical for any num_ingest_threads either way.
+  const bool philox = spec.execution.rng == RngKind::kPhilox;
   auto produce = [&]() {
     std::vector<uint32_t> codes(dataset.num_attributes());
     while (!abort.load(std::memory_order_acquire)) {
       const uint64_t s = next_sequence.fetch_add(1, std::memory_order_relaxed);
       if (s >= limit) break;
       const size_t row = static_cast<size_t>(s % dataset.num_rows());
-      Rng rng = family.Stream(s);
-      for (size_t j = 0; j < codes.size(); ++j) {
-        codes[j] = matrices[j].Randomize(dataset.at(row, j), rng);
+      if (philox) {
+        for (size_t j = 0; j < codes.size(); ++j) {
+          codes[j] = matrices[j].RandomizeCounter(
+              dataset.at(row, j), spec.execution.seed, /*stream=*/s,
+              /*element=*/j);
+        }
+      } else {
+        Rng rng = family.Stream(s);
+        for (size_t j = 0; j < codes.size(); ++j) {
+          codes[j] = matrices[j].Randomize(dataset.at(row, j), rng);
+        }
       }
       const size_t shard = static_cast<size_t>(s % num_shards);
       while (!collector->TrySubmit(shard, s, codes)) {

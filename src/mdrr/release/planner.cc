@@ -72,6 +72,7 @@ StatusOr<ReleaseArtifacts> ReleasePlan::Run() const {
     engine_options.seed = policy.seed;
     engine_options.num_threads = policy.num_threads;
     engine_options.shard_size = policy.shard_size;
+    engine_options.rng = policy.rng;
     engine.emplace(engine_options);
   }
 

@@ -271,6 +271,7 @@ std::string PrintReleaseSpec(const ReleaseSpec& spec) {
              static_cast<uint64_t>(spec.execution.num_threads));
   AppendLine(out, "execution.shard_size",
              static_cast<uint64_t>(spec.execution.shard_size));
+  AppendLine(out, "execution.rng", std::string(ToString(spec.execution.rng)));
 
   if (!spec.output.randomized_csv.empty()) {
     AppendLine(out, "output.randomized_csv", spec.output.randomized_csv);
@@ -392,6 +393,11 @@ StatusOr<ReleaseSpec> ParseReleaseSpec(const std::string& text) {
     } else if (key == "execution.shard_size") {
       MDRR_ASSIGN_OR_RETURN(uint64_t value, ParseOneUint(line));
       spec.execution.shard_size = static_cast<size_t>(value);
+    } else if (key == "execution.rng") {
+      // Absent in pre-philox spec files; the field default keeps those
+      // parsing as mt19937.
+      MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
+      MDRR_ASSIGN_OR_RETURN(spec.execution.rng, RngKindFromString(token));
     } else if (key == "output.randomized_csv") {
       spec.output.randomized_csv = line.rest;
     } else if (key == "output.synthetic_csv") {

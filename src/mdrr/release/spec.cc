@@ -52,7 +52,8 @@ bool operator==(const StreamingSpec& a, const StreamingSpec& b) {
 
 bool operator==(const ExecutionPolicy& a, const ExecutionPolicy& b) {
   return a.kind == b.kind && a.seed == b.seed &&
-         a.num_threads == b.num_threads && a.shard_size == b.shard_size;
+         a.num_threads == b.num_threads && a.shard_size == b.shard_size &&
+         a.rng == b.rng;
 }
 
 bool operator==(const OutputSpec& a, const OutputSpec& b) {
@@ -138,6 +139,23 @@ StatusOr<PolicyKind> PolicyKindFromString(std::string_view token) {
   if (token == "sharded") return PolicyKind::kSharded;
   return Status::InvalidArgument("unknown execution policy '" +
                                  std::string(token) + "'");
+}
+
+const char* ToString(RngKind kind) {
+  switch (kind) {
+    case RngKind::kMt19937:
+      return "mt19937";
+    case RngKind::kPhilox:
+      return "philox";
+  }
+  return "unknown";
+}
+
+StatusOr<RngKind> RngKindFromString(std::string_view token) {
+  if (token == "mt19937") return RngKind::kMt19937;
+  if (token == "philox") return RngKind::kPhilox;
+  return Status::InvalidArgument("unknown rng policy '" + std::string(token) +
+                                 "'");
 }
 
 const char* ToString(WindowKind kind) {
@@ -403,6 +421,14 @@ Status ValidateReleaseSpec(const ReleaseSpec& spec, size_t num_attributes) {
   // Execution.
   if (spec.execution.shard_size == 0) {
     return Status::InvalidArgument("execution.shard_size must be > 0");
+  }
+  if (spec.execution.rng == RngKind::kPhilox &&
+      spec.execution.kind == PolicyKind::kSequential &&
+      !spec.streaming.enabled) {
+    return Status::InvalidArgument(
+        "execution.rng philox requires the sharded policy (the sequential "
+        "reference path is the mt19937 transcript); streaming plans are "
+        "exempt -- the collector ignores execution.kind");
   }
 
   // Outputs.

@@ -21,6 +21,7 @@
 #include "mdrr/common/status_or.h"
 #include "mdrr/core/clustering.h"
 #include "mdrr/core/rr_clusters.h"
+#include "mdrr/rng/counter_rng.h"
 
 namespace mdrr::release {
 
@@ -168,6 +169,15 @@ struct ExecutionPolicy {
   uint64_t seed = 1;
   size_t num_threads = 0;       // kSharded only.
   size_t shard_size = 1 << 16;  // kSharded only.
+  // Perturbation stream engine. kMt19937 (default) is the committed
+  // transcript: sequential plans replay the reference Rng, sharded plans
+  // the (seed, shard_size)-keyed stream family. kPhilox draws
+  // element-addressed counter blocks instead, making sharded output
+  // invariant under shard_size as well as num_threads; it requires
+  // kind == kSharded (the sequential reference path is mt19937 by
+  // definition) unless streaming is enabled -- the streaming collector
+  // keys randomness per report and ignores `kind`.
+  RngKind rng = RngKind::kMt19937;
 };
 
 // Where to persist the products; empty paths mean "keep in memory only".
@@ -206,11 +216,13 @@ inline bool operator!=(const ReleaseSpec& a, const ReleaseSpec& b) {
 // Stable token names used by serialization, the CLI, and error messages.
 const char* ToString(MechanismKind kind);
 const char* ToString(PolicyKind kind);
+const char* ToString(RngKind kind);
 const char* ToString(DatasetSpec::Source source);
 const char* ToString(DependenceSource source);
 const char* ToString(WindowKind kind);
 StatusOr<MechanismKind> MechanismKindFromString(std::string_view token);
 StatusOr<PolicyKind> PolicyKindFromString(std::string_view token);
+StatusOr<RngKind> RngKindFromString(std::string_view token);
 StatusOr<WindowKind> WindowKindFromString(std::string_view token);
 StatusOr<DatasetSpec::Source> DatasetSourceFromString(std::string_view token);
 StatusOr<DependenceSource> DependenceSourceFromString(std::string_view token);

@@ -1,11 +1,16 @@
 #include "mdrr/rng/alias_sampler.h"
 
+#include <limits>
+
 #include "mdrr/common/check.h"
 
 namespace mdrr {
 
 AliasSampler::AliasSampler(const std::vector<double>& weights) {
   MDRR_CHECK(!weights.empty());
+  // Alias indices are stored as uint32_t; a longer weight vector would
+  // silently truncate them.
+  MDRR_CHECK_LE(weights.size(), std::numeric_limits<uint32_t>::max());
   const size_t n = weights.size();
   double total = 0.0;
   for (double w : weights) {
@@ -44,10 +49,17 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
   for (uint32_t i : small) probability_[i] = 1.0;
 }
 
-size_t AliasSampler::Sample(Rng& rng) const {
-  size_t bucket = rng.UniformInt(probability_.size());
-  if (rng.UniformDouble() < probability_[bucket]) return bucket;
-  return alias_[bucket];
+void AliasSampler::SampleBlock(const double* units, const uint64_t* raws,
+                               size_t count, uint32_t* out) const {
+  MDRR_CHECK(!probability_.empty());
+  const uint64_t n = probability_.size();
+  const double* probability = probability_.data();
+  const uint32_t* alias = alias_.data();
+  for (size_t k = 0; k < count; ++k) {
+    const uint32_t bucket =
+        static_cast<uint32_t>(PhiloxBoundedFromRaw(raws[k], n));
+    out[k] = units[k] < probability[bucket] ? bucket : alias[bucket];
+  }
 }
 
 double AliasSampler::ProbabilityOf(size_t i) const {

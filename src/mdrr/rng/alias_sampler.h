@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mdrr/rng/counter_rng.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr {
@@ -15,12 +16,39 @@ namespace mdrr {
 class AliasSampler {
  public:
   // Builds the alias table for the given non-negative weights (need not be
-  // normalized; must have positive total mass).
+  // normalized; must have positive total mass, and at most UINT32_MAX
+  // entries -- alias indices are stored as uint32_t).
   explicit AliasSampler(const std::vector<double>& weights);
 
   // Draws an index in [0, size()) with probability proportional to its
-  // weight. O(1): one uniform integer plus one Bernoulli.
-  size_t Sample(Rng& rng) const;
+  // weight. O(1): one uniform integer plus one Bernoulli. Emptiness is
+  // guaranteed at construction, so the per-draw size check is debug-only.
+  size_t Sample(Rng& rng) const {
+    MDRR_DCHECK(!probability_.empty());
+    size_t bucket = rng.UniformInt(probability_.size());
+    if (rng.UniformDouble() < probability_[bucket]) return bucket;
+    return alias_[bucket];
+  }
+
+  // Counter-policy draw from one pre-drawn uniform pair (the element
+  // block of counter_rng.h). Draw plan, part of the philox transcript
+  // contract: bucket = PhiloxBoundedFromRaw(raw, size()); accept iff
+  // unit < probability_[bucket], else the bucket's alias. Note the pair
+  // is consumed in the opposite order to Sample (bucket from the raw
+  // word, acceptance from the unit double) so one element block serves
+  // both the structured and the alias kernels of RrMatrix.
+  uint32_t SampleFrom(double unit, uint64_t raw) const {
+    MDRR_DCHECK(!probability_.empty());
+    const uint32_t bucket = static_cast<uint32_t>(
+        PhiloxBoundedFromRaw(raw, probability_.size()));
+    return unit < probability_[bucket] ? bucket : alias_[bucket];
+  }
+
+  // Block draw: out[k] = SampleFrom(units[k], raws[k]) for k in
+  // [0, count). Pure table lookups over pre-drawn uniform pairs -- no
+  // engine calls, no loop-carried state -- so the loop vectorizes.
+  void SampleBlock(const double* units, const uint64_t* raws, size_t count,
+                   uint32_t* out) const;
 
   size_t size() const { return probability_.size(); }
 

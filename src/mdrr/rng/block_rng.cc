@@ -1,0 +1,76 @@
+#include "mdrr/rng/block_rng.h"
+
+namespace mdrr {
+
+namespace {
+
+// Words per stack chunk in the u64/double/bounded fills (must be even so
+// u64 pairs never straddle a chunk boundary).
+constexpr size_t kChunkWords = 512;
+
+}  // namespace
+
+void BlockRng::FillU32(uint32_t* out, size_t count) {
+  size_t i = 0;
+  // Head: finish the partially consumed block so the middle is aligned.
+  while (i < count && (source_.position() & 3) != 0) {
+    out[i++] = source_.NextU32();
+  }
+  // Middle: whole blocks written straight to the output, four words per
+  // Philox evaluation; the facade position advances in one O(1) jump.
+  uint64_t block = source_.position() >> 2;
+  const uint64_t seed = source_.seed();
+  const uint64_t stream = source_.stream();
+  size_t whole = (count - i) >> 2;
+  source_.Jump(whole * 4);
+  for (; whole > 0; --whole, ++block, i += 4) {
+    const PhiloxBlock b = PhiloxElementBlock(seed, stream, block);
+    out[i] = b.w[0];
+    out[i + 1] = b.w[1];
+    out[i + 2] = b.w[2];
+    out[i + 3] = b.w[3];
+  }
+  // Tail: the last count & 3 words.
+  while (i < count) {
+    out[i++] = source_.NextU32();
+  }
+}
+
+void BlockRng::FillU64(uint64_t* out, size_t count) {
+  uint32_t words[kChunkWords];
+  size_t done = 0;
+  while (done < count) {
+    const size_t chunk = count - done < kChunkWords / 2 ? count - done
+                                                        : kChunkWords / 2;
+    FillU32(words, chunk * 2);
+    for (size_t k = 0; k < chunk; ++k) {
+      out[done + k] =
+          (static_cast<uint64_t>(words[2 * k + 1]) << 32) | words[2 * k];
+    }
+    done += chunk;
+  }
+}
+
+void BlockRng::FillDouble(double* out, size_t count) {
+  uint64_t raws[kChunkWords / 2];
+  size_t done = 0;
+  while (done < count) {
+    const size_t chunk = count - done < kChunkWords / 2 ? count - done
+                                                        : kChunkWords / 2;
+    FillU64(raws, chunk);
+    for (size_t k = 0; k < chunk; ++k) {
+      out[done + k] = PhiloxUnitFromU64(raws[k]);
+    }
+    done += chunk;
+  }
+}
+
+void BlockRng::FillBoundedU64(uint64_t bound, uint64_t* out, size_t count) {
+  MDRR_CHECK_GT(bound, 0u);
+  FillU64(out, count);
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = PhiloxBoundedFromRaw(out[k], bound);
+  }
+}
+
+}  // namespace mdrr

@@ -1,0 +1,55 @@
+// Block-fill facade over a counter stream: inner loops consume uniforms
+// from caller-owned buffers instead of calling the engine per draw.
+//
+// Every Fill* produces EXACTLY the word sequence the scalar CounterRng
+// calls would (FillU32 == repeated NextU32, FillU64 == repeated NextU64,
+// FillDouble == repeated NextDouble, FillBoundedU64 == repeated
+// BoundedU64) -- asserted by counter_rng_test.cc -- so a kernel can mix
+// block fills and scalar draws on one stream without changing any
+// transcript. The fills generate whole 128-bit blocks directly into the
+// output (one Philox evaluation per four words, no per-word call
+// overhead, no loop-carried state in the hot loop), which is what makes
+// the inner loops vectorizable.
+
+#ifndef MDRR_RNG_BLOCK_RNG_H_
+#define MDRR_RNG_BLOCK_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mdrr/rng/counter_rng.h"
+
+namespace mdrr {
+
+class BlockRng {
+ public:
+  explicit BlockRng(uint64_t seed, uint64_t stream = 0)
+      : source_(seed, stream) {}
+  explicit BlockRng(const CounterRng& source) : source_(source) {}
+
+  // The underlying sequential stream; scalar draws interleave freely
+  // with block fills.
+  CounterRng& source() { return source_; }
+  const CounterRng& source() const { return source_; }
+
+  // out[0, count): the next count 32-bit words of the stream.
+  void FillU32(uint32_t* out, size_t count);
+
+  // out[0, count): the next count u64s (two words each, low word first).
+  void FillU64(uint64_t* out, size_t count);
+
+  // out[0, count): the next count canonical doubles in [0, 1).
+  void FillDouble(double* out, size_t count);
+
+  // out[0, count): the next count integers uniform on [0, bound), one
+  // u64 each (the fixed-budget Lemire reduction of counter_rng.h).
+  // Precondition: bound > 0.
+  void FillBoundedU64(uint64_t bound, uint64_t* out, size_t count);
+
+ private:
+  CounterRng source_;
+};
+
+}  // namespace mdrr
+
+#endif  // MDRR_RNG_BLOCK_RNG_H_

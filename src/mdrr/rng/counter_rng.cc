@@ -1,0 +1,15 @@
+#include "mdrr/rng/counter_rng.h"
+
+namespace mdrr {
+
+void PhiloxFillElementDraws(uint64_t seed, uint64_t stream, uint64_t first,
+                            size_t count, double* units, uint64_t* raws) {
+  for (size_t k = 0; k < count; ++k) {
+    const PhiloxBlock block = PhiloxElementBlock(seed, stream, first + k);
+    units[k] = PhiloxUnitFromU64(
+        (static_cast<uint64_t>(block.w[1]) << 32) | block.w[0]);
+    raws[k] = (static_cast<uint64_t>(block.w[3]) << 32) | block.w[2];
+  }
+}
+
+}  // namespace mdrr

@@ -350,6 +350,7 @@ TEST(ReleaseSpecSerialization, FullyPopulatedSpecRoundTrips) {
   spec.execution.seed = 31337;
   spec.execution.num_threads = 6;
   spec.execution.shard_size = 4096;
+  spec.execution.rng = RngKind::kPhilox;
   spec.output.randomized_csv = "/tmp/y.csv";
   spec.output.synthetic_csv = "/tmp/s.csv";
   spec.output.artifacts_path = "/tmp/a.txt";

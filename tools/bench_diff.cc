@@ -18,6 +18,13 @@
 // A current stage that is not bit_identical is always an error: that bit
 // is the determinism contract, not a performance number.
 //
+// Column semantics are per-stage: most stages use t1/tN as 1-thread vs
+// N-thread wall times, but the rng-policy stage uses them as the two
+// RNG policies at the same thread count (t1 = mt19937, tN = philox).
+// The delta logic below is agnostic -- a slower current t1 is an
+// mt19937 regression and a slower tN a philox regression either way --
+// and bit_identical remains each stage's own determinism contract.
+//
 // Exit status: 0 on success (warnings included), 1 if any current stage
 // lost bit-identity or --fail_on_regression was set and a WARN fired,
 // 2 on unreadable/unparseable input.

@@ -16,6 +16,7 @@
 //         [--budget=EPS] [--adjust] [--adjust_iters=100]
 //         [--randomized_out=y.csv] [--synthetic_out=s.csv] [--report]
 //         [--artifacts_out=a.txt] [--seed=1] [--threads=N] [--shard=S]
+//         [--rng=mt19937|philox]
 //       spec mode:
 //         --spec=release.spec     (a serialized ReleaseSpec; all other
 //                                  release flags are ignored)
@@ -25,7 +26,10 @@
 //       workers (0 = one per core), bit-identical for any N at a fixed
 //       --seed (--shard is part of the randomness contract). Omitting it
 //       selects the sequential policy, which is bit-identical to calling
-//       the stage functions directly with one Rng(seed).
+//       the stage functions directly with one Rng(seed). --rng=philox
+//       switches perturbation to the counter-based engine (sharded or
+//       streaming runs only): a different deterministic transcript that
+//       is additionally invariant under --shard.
 //
 //       A spec with streaming.enabled runs through the windowed streaming
 //       collector instead of a batch plan: the spec's dataset replays as
@@ -171,6 +175,9 @@ StatusOr<mdrr::release::ReleaseSpec> SpecFromFlags(const FlagSet& flags) {
         static_cast<size_t>(flags.GetInt("shard", 1 << 16));
   }
   spec.execution.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  MDRR_ASSIGN_OR_RETURN(
+      spec.execution.rng,
+      release::RngKindFromString(flags.GetString("rng", "mt19937")));
 
   spec.output.randomized_csv = flags.GetString("randomized_out", "");
   spec.output.synthetic_csv = flags.GetString("synthetic_out", "");
