@@ -44,9 +44,12 @@
 // transcripts bit-equal on every run -- the fast path's golden contract.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -59,6 +62,8 @@
 #include "mdrr/core/synthetic.h"
 #include "mdrr/dataset/adult.h"
 #include "mdrr/linalg/lu.h"
+#include "mdrr/net/coordinator.h"
+#include "mdrr/net/worker.h"
 #include "mdrr/protocol/session.h"
 #include "mdrr/protocol/stream_ingest.h"
 #include "mdrr/release/planner.h"
@@ -354,6 +359,91 @@ int main(int argc, char** argv) {
     std::printf("# facade overhead vs direct composition (t1): %+.1f%%\n",
                 100.0 * (facade_t1 - direct_t1) / direct_t1);
   }
+
+  // --- Distributed release: the RR-Independent workload with column
+  // perturbation farmed out over loopback TCP to 2 worker protocol
+  // endpoints (each running the exact tools/mdrr_worker session loop),
+  // shipping matrices, shard slices, and merged counts through the net/
+  // wire format. t1 is the in-process sharded engine at --threads, tN
+  // the 2-worker distributed run, so the "speedup" column reads as the
+  // transport overhead ratio. The identical bit asserts the tentpole
+  // contract on EVERY run: the distributed transcript is bit-equal to
+  // the in-process engine for both RNG policies. ---
+  auto run_distributed = [&](mdrr::RngKind rng_kind)
+      -> mdrr::StatusOr<mdrr::RrIndependentResult> {
+    mdrr::net::CoordinatorOptions coordinator_options;
+    coordinator_options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    coordinator_options.rng = rng_kind;
+    coordinator_options.shard_size = single.options().shard_size;
+    mdrr::net::Coordinator coordinator(coordinator_options);
+    MDRR_RETURN_IF_ERROR(coordinator.Listen(0));
+    const uint16_t port = coordinator.port();
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 2; ++w) {
+      workers.emplace_back(
+          [port] { (void)mdrr::net::RunWorker("127.0.0.1", port); });
+    }
+    mdrr::Status accepted = coordinator.AcceptWorkers(2);
+    if (!accepted.ok()) {
+      coordinator.Abort(accepted.ToString());
+      for (std::thread& worker : workers) worker.join();
+      return accepted;
+    }
+    std::atomic<bool> perturb_failed{false};
+    BatchPerturbationOptions engine_options = single.options();
+    engine_options.rng = rng_kind;
+    engine_options.shard_perturber =
+        [&coordinator, &perturb_failed](
+            const mdrr::RrMatrix& matrix, const std::vector<uint32_t>& codes,
+            uint64_t stream_base,
+            uint64_t counter_stream) -> mdrr::PerturbedColumn {
+      auto column = coordinator.PerturbColumn(matrix, codes, stream_base,
+                                              counter_stream);
+      if (!column.ok()) {
+        perturb_failed.store(true);
+        mdrr::PerturbedColumn zero;
+        zero.codes.assign(codes.size(), 0);
+        zero.lambda.assign(matrix.size(), 0.0);
+        return zero;
+      }
+      return std::move(column).value();
+    };
+    auto result = BatchPerturbationEngine(engine_options)
+                      .RunIndependent(data, independent_options);
+    mdrr::Status committed =
+        perturb_failed.load()
+            ? mdrr::Status::Internal("distributed perturbation failed")
+            : coordinator.Commit();
+    if (!committed.ok()) coordinator.Abort(committed.ToString());
+    for (std::thread& worker : workers) worker.join();
+    if (!result.ok()) return result.status();
+    MDRR_RETURN_IF_ERROR(committed);
+    return result;
+  };
+  timer.Restart();
+  auto distributed_mt = run_distributed(mdrr::RngKind::kMt19937);
+  double distributed_tn = timer.Seconds();
+  auto distributed_philox = run_distributed(mdrr::RngKind::kPhilox);
+  if (!distributed_mt.ok() || !distributed_philox.ok()) {
+    std::fprintf(stderr, "distributed release failed: %s\n",
+                 (!distributed_mt.ok() ? distributed_mt.status()
+                                       : distributed_philox.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  bool distributed_same =
+      SameData(distributed_mt.value().randomized,
+               independent_many.value().randomized) &&
+      SameEstimates(distributed_mt.value().estimated,
+                    independent_many.value().estimated) &&
+      SameData(distributed_philox.value().randomized,
+               philox_many.value().randomized) &&
+      SameEstimates(distributed_philox.value().estimated,
+                    philox_many.value().estimated);
+  stages.push_back({"release-distributed", independent_tn, distributed_tn,
+                    distributed_same});
+  PrintStage(stages.back());
 
   // --- Eq. (2) estimation on a high-cardinality joint domain. ---
   const size_t est_r = static_cast<size_t>(flags.GetInt("est_r", 512));

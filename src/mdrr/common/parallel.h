@@ -59,6 +59,9 @@ class ChunkedDoubleAccumulator {
   double* Row(size_t chunk_index) {
     return slots_.data() + chunk_index * stride_;
   }
+  const double* Row(size_t chunk_index) const {
+    return slots_.data() + chunk_index * stride_;
+  }
 
   // Re-zeroes every slot (buffer reuse across passes).
   void Reset() { slots_.assign(slots_.size(), 0.0); }
@@ -68,6 +71,13 @@ class ChunkedDoubleAccumulator {
   void ReduceInto(double* out) const;
 
   size_t width() const { return width_; }
+
+  // Chunk rows this accumulator holds (the num_chunks it was built
+  // with). Wire codecs (net/wire.h) ship partial rows chunk-by-chunk
+  // and need the row count to bound what a peer may claim.
+  size_t num_chunks() const {
+    return stride_ == 0 ? 0 : slots_.size() / stride_;
+  }
 
  private:
   static constexpr size_t kDoublesPerCacheLine = 8;

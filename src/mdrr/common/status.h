@@ -28,6 +28,8 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kIoError = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -67,6 +69,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

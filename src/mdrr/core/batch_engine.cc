@@ -35,7 +35,13 @@ PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
                                      const RngStreamFamily& family,
                                      uint64_t stream_base, size_t shard_size,
                                      size_t num_threads, RngKind kind,
-                                     uint64_t counter_stream) {
+                                     uint64_t counter_stream,
+                                     const ColumnShardPerturber& hook) {
+  if (hook) {
+    // Externalized kernel (distributed coordinator): it receives the
+    // column's full randomness address and owns the determinism contract.
+    return hook(matrix, input, stream_base, counter_stream);
+  }
   const size_t n = input.size();
   PerturbedColumn result;
   result.codes.resize(n);
@@ -91,7 +97,8 @@ StatusOr<RrIndependentResult> BatchPerturbationEngine::RunIndependent(
                                     1 + column_index * num_shards,
                                     options_.shard_size, options_.num_threads,
                                     options_.rng,
-                                    /*counter_stream=*/1 + column_index);
+                                    /*counter_stream=*/1 + column_index,
+                                    options_.shard_perturber);
       });
 }
 
@@ -110,7 +117,8 @@ StatusOr<RrJointResult> BatchPerturbationEngine::RunJoint(
                                         /*stream_base=*/1,
                                         options_.shard_size,
                                         options_.num_threads, options_.rng,
-                                        /*counter_stream=*/1);
+                                        /*counter_stream=*/1,
+                                        options_.shard_perturber);
           }));
   // Estimation never draws randomness, so routing it through the engine's
   // workers keeps the output bit-identical to the sequential path.
@@ -139,7 +147,8 @@ StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
               return PerturbColumnSharded(
                   matrix, codes, family, 1 + cluster_index * num_shards,
                   options_.shard_size, options_.num_threads, options_.rng,
-                  /*counter_stream=*/1 + cluster_index);
+                  /*counter_stream=*/1 + cluster_index,
+                  options_.shard_perturber);
             });
       },
       options_.num_threads, &assessment);

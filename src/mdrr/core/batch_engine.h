@@ -29,10 +29,12 @@
 #define MDRR_CORE_BATCH_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mdrr/common/status_or.h"
 #include "mdrr/core/adjustment.h"
+#include "mdrr/core/perturber.h"
 #include "mdrr/core/rr_clusters.h"
 #include "mdrr/core/rr_independent.h"
 #include "mdrr/core/rr_joint.h"
@@ -41,6 +43,18 @@
 #include "mdrr/rng/rng.h"
 
 namespace mdrr {
+
+// Override for the engine's sharded column kernel. Receives the full
+// randomness address of the column -- `stream_base` (mt19937: shard s of
+// the column draws from family.Stream(stream_base + s)) and
+// `counter_stream` (philox: every element draws from this stream at its
+// global index) -- and must honor the engine's determinism contract:
+// return exactly what the in-process kernel would for those addresses.
+// The distributed coordinator (net/coordinator.h) uses this to farm the
+// shards out to worker processes while every serial stage stays local.
+using ColumnShardPerturber = std::function<PerturbedColumn(
+    const RrMatrix& matrix, const std::vector<uint32_t>& codes,
+    uint64_t stream_base, uint64_t counter_stream)>;
 
 struct BatchPerturbationOptions {
   uint64_t seed = 1;
@@ -63,6 +77,10 @@ struct BatchPerturbationOptions {
   // either policy: both are already grain/thread-invariant, and synthesis
   // consumes shuffle draws the counter layout does not model.
   RngKind rng = RngKind::kMt19937;
+  // When set, replaces the in-process sharded kernel for every column
+  // perturbation (see ColumnShardPerturber above). Serial randomness,
+  // adjustment, synthesis, and estimation still run locally.
+  ColumnShardPerturber shard_perturber;
 };
 
 class BatchPerturbationEngine {

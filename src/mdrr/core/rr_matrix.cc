@@ -104,6 +104,25 @@ StatusOr<RrMatrix> RrMatrix::FromDense(linalg::Matrix p) {
   return RrMatrix(n, std::move(p));
 }
 
+StatusOr<RrMatrix> RrMatrix::FromStructured(linalg::UniformMixture mixture) {
+  if (mixture.size == 0) {
+    return Status::InvalidArgument("structured RR matrix must be nonempty");
+  }
+  if (!std::isfinite(mixture.diagonal) || !std::isfinite(mixture.off_diagonal) ||
+      mixture.diagonal < 0.0 || mixture.diagonal > 1.0 ||
+      mixture.off_diagonal < 0.0 || mixture.off_diagonal > 1.0) {
+    return Status::InvalidArgument(
+        "structured RR matrix entries must be probabilities");
+  }
+  double row_sum = mixture.diagonal +
+                   static_cast<double>(mixture.size - 1) * mixture.off_diagonal;
+  if (std::abs(row_sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        "structured RR matrix rows must sum to 1");
+  }
+  return RrMatrix(mixture.size, mixture);
+}
+
 double RrMatrix::Prob(size_t u, size_t v) const {
   MDRR_CHECK_LT(u, size_);
   MDRR_CHECK_LT(v, size_);

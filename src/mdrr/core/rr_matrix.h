@@ -67,8 +67,23 @@ class RrMatrix {
   // nonnegative (tolerance 1e-9).
   static StatusOr<RrMatrix> FromDense(linalg::Matrix p);
 
+  // Rebuilds a structured matrix from its three parameters verbatim --
+  // the wire codec (net/wire.h) ships {size, diagonal, off_diagonal}
+  // instead of a densified copy so a decoded matrix draws bit-identically
+  // to the original (ToDense + FromDense would re-detect, but this skips
+  // the float round trip entirely). Fails unless the mixture is a valid
+  // row-stochastic design: size >= 1, entries finite, in [0, 1], and
+  // diagonal + (size - 1) * off_diagonal within 1e-9 of 1.
+  static StatusOr<RrMatrix> FromStructured(linalg::UniformMixture mixture);
+
   size_t size() const { return size_; }
   bool is_structured() const { return structured_.has_value(); }
+
+  // The structured parameters when is_structured(), nullopt otherwise.
+  // Paired with FromStructured for exact matrix transport.
+  const std::optional<linalg::UniformMixture>& structured() const {
+    return structured_;
+  }
 
   // p_uv = Pr(Y = v | X = u).
   double Prob(size_t u, size_t v) const;

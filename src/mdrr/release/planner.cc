@@ -1,6 +1,8 @@
 #include "mdrr/release/planner.h"
 
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -57,24 +59,106 @@ ReleasePlan::ReleasePlan(ReleaseSpec spec, Dataset owned,
       mechanism_(std::move(mechanism)) {}
 
 StatusOr<ReleaseArtifacts> ReleasePlan::Run() const {
-  const Dataset& data = dataset();
   const ExecutionPolicy& policy = spec_.execution;
+  if (policy.kind == PolicyKind::kDistributed) {
+    // Self-hosted coordinator: bind, wait for the configured worker
+    // fleet, then run the shared distributed path.
+    net::CoordinatorOptions coordinator_options;
+    coordinator_options.seed = policy.seed;
+    coordinator_options.rng = policy.rng;
+    coordinator_options.shard_size = policy.shard_size;
+    coordinator_options.deadline_ms = policy.worker_deadline_ms;
+    net::Coordinator coordinator(coordinator_options);
+    MDRR_RETURN_IF_ERROR(coordinator.Listen(policy.listen_port));
+    MDRR_RETURN_IF_ERROR(coordinator.AcceptWorkers(policy.num_workers));
+    return RunDistributed(coordinator);
+  }
   // The sequential stream and the engine: exactly one exists, chosen by
   // the policy. The sequential Rng is threaded through the stages in
   // order (mechanism first, synthesis second), which is the same draw
   // order a caller composing the stage functions by hand would use.
-  std::optional<Rng> rng;
-  std::optional<BatchPerturbationEngine> engine;
   if (policy.kind == PolicyKind::kSequential) {
-    rng.emplace(policy.seed);
-  } else {
-    BatchPerturbationOptions engine_options;
-    engine_options.seed = policy.seed;
-    engine_options.num_threads = policy.num_threads;
-    engine_options.shard_size = policy.shard_size;
-    engine_options.rng = policy.rng;
-    engine.emplace(engine_options);
+    Rng rng(policy.seed);
+    return ExecuteStages(&rng, nullptr, nullptr);
   }
+  BatchPerturbationOptions engine_options;
+  engine_options.seed = policy.seed;
+  engine_options.num_threads = policy.num_threads;
+  engine_options.shard_size = policy.shard_size;
+  engine_options.rng = policy.rng;
+  BatchPerturbationEngine engine(engine_options);
+  return ExecuteStages(nullptr, &engine, nullptr);
+}
+
+StatusOr<ReleaseArtifacts> ReleasePlan::RunDistributed(
+    net::Coordinator& coordinator) const {
+  const ExecutionPolicy& policy = spec_.execution;
+  if (policy.kind != PolicyKind::kDistributed) {
+    return Status::InvalidArgument(
+        "RunDistributed needs execution.policy distributed");
+  }
+  if (coordinator.num_workers() == 0) {
+    return Status::FailedPrecondition(
+        "the coordinator has no connected workers");
+  }
+
+  // The engine's perturber hook has no Status channel, so network
+  // failures latch here: the hook returns a structurally valid zero
+  // column (never consumed -- the check below fires first) and the
+  // pipeline aborts right after the mechanism stage, before adjustment,
+  // synthesis, artifact assembly, or any output write.
+  struct ErrorLatch {
+    std::mutex mu;
+    Status first = Status::OK();
+    void Record(const Status& status) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first.ok()) first = status;
+    }
+    Status Get() {
+      std::lock_guard<std::mutex> lock(mu);
+      return first;
+    }
+  };
+  auto latch = std::make_shared<ErrorLatch>();
+
+  BatchPerturbationOptions engine_options;
+  engine_options.seed = policy.seed;
+  engine_options.num_threads = policy.num_threads;
+  engine_options.shard_size = policy.shard_size;
+  engine_options.rng = policy.rng;
+  engine_options.shard_perturber =
+      [&coordinator, latch](const RrMatrix& matrix,
+                            const std::vector<uint32_t>& codes,
+                            uint64_t stream_base,
+                            uint64_t counter_stream) -> PerturbedColumn {
+    StatusOr<PerturbedColumn> column =
+        coordinator.PerturbColumn(matrix, codes, stream_base, counter_stream);
+    if (column.ok()) return std::move(column).value();
+    latch->Record(column.status());
+    PerturbedColumn zero;
+    zero.codes.assign(codes.size(), 0);
+    zero.lambda.assign(matrix.size(), 0.0);
+    return zero;
+  };
+  BatchPerturbationEngine engine(engine_options);
+
+  std::function<Status()> mechanism_check = [latch]() {
+    return latch->Get();
+  };
+  StatusOr<ReleaseArtifacts> artifacts =
+      ExecuteStages(nullptr, &engine, &mechanism_check);
+  if (!artifacts.ok()) {
+    coordinator.Abort(artifacts.status().ToString());
+    return artifacts.status();
+  }
+  MDRR_RETURN_IF_ERROR(coordinator.Commit());
+  return artifacts;
+}
+
+StatusOr<ReleaseArtifacts> ReleasePlan::ExecuteStages(
+    Rng* rng, const BatchPerturbationEngine* engine,
+    const std::function<Status()>* mechanism_check) const {
+  const Dataset& data = dataset();
 
   ReleaseArtifacts artifacts;
   StageClock clock(artifacts.timings);
@@ -82,10 +166,13 @@ StatusOr<ReleaseArtifacts> ReleasePlan::Run() const {
   // --- Perturbation + Eq. (2) estimation. ---
   clock.Start();
   MDRR_ASSIGN_OR_RETURN(MechanismOutput output,
-                        policy.kind == PolicyKind::kSequential
+                        rng != nullptr
                             ? mechanism_->RunSequential(data, *rng)
                             : mechanism_->RunSharded(data, *engine));
   clock.Stop("mechanism");
+  if (mechanism_check != nullptr) {
+    MDRR_RETURN_IF_ERROR((*mechanism_check)());
+  }
 
   const double total_epsilon =
       output.release_epsilon + output.dependence_epsilon;
@@ -107,7 +194,7 @@ StatusOr<ReleaseArtifacts> ReleasePlan::Run() const {
     adjustment_options.tolerance = spec_.adjustment.tolerance;
     MDRR_ASSIGN_OR_RETURN(
         AdjustmentResult adjusted,
-        policy.kind == PolicyKind::kSequential
+        rng != nullptr
             ? RunRrAdjustment(groups, data.num_rows(), adjustment_options)
             : engine->RunAdjustment(groups, data.num_rows(),
                                     adjustment_options));
@@ -123,7 +210,7 @@ StatusOr<ReleaseArtifacts> ReleasePlan::Run() const {
                           : static_cast<int64_t>(data.num_rows());
     MDRR_ASSIGN_OR_RETURN(
         Dataset synthetic,
-        policy.kind == PolicyKind::kSequential
+        rng != nullptr
             ? mechanism_->SynthesizeSequential(output, n, *rng)
             : mechanism_->SynthesizeSharded(output, n, *engine));
     artifacts.synthetic = std::move(synthetic);
@@ -234,6 +321,11 @@ StatusOr<ControllerPlan> ReleasePlanner::PlanController(
   }
   if (policy.shard_size == 0) {
     return Status::InvalidArgument("execution.shard_size must be > 0");
+  }
+  if (policy.kind == PolicyKind::kDistributed) {
+    return Status::InvalidArgument(
+        "party sessions run on the controller; the distributed policy "
+        "applies to batch releases only");
   }
   return ControllerPlan(clustering, measure, policy);
 }

@@ -6,12 +6,21 @@
 // adjustment, optional synthetic release, optional utility evaluation,
 // and output writing -- under the spec's single ExecutionPolicy:
 //
-//   kSequential  one Rng(seed) threaded through the stages in order,
-//                bit-identical to calling the stage functions directly;
-//   kSharded     everything through the BatchPerturbationEngine
-//                contracts, bit-identical for any num_threads at fixed
-//                (seed, shard_size) and to the corresponding direct
-//                engine calls.
+//   kSequential   one Rng(seed) threaded through the stages in order,
+//                 bit-identical to calling the stage functions directly;
+//   kSharded      everything through the BatchPerturbationEngine
+//                 contracts, bit-identical for any num_threads at fixed
+//                 (seed, shard_size) and to the corresponding direct
+//                 engine calls;
+//   kDistributed  the kSharded pipeline with column perturbation farmed
+//                 out to worker processes through a net::Coordinator --
+//                 bit-identical to kSharded at the same (seed,
+//                 shard_size, rng) for any worker count. Run() self-hosts
+//                 the coordinator (listens on execution.listen_port and
+//                 waits for execution.num_workers); RunDistributed takes
+//                 an already-connected coordinator instead. Failures are
+//                 fail-closed: a worker error aborts the release before
+//                 any artifact or output file exists.
 //
 // Run() is const and re-derives all randomness from the spec, so a plan
 // can be executed repeatedly (or the spec shipped to another machine)
@@ -20,9 +29,11 @@
 #ifndef MDRR_RELEASE_PLANNER_H_
 #define MDRR_RELEASE_PLANNER_H_
 
+#include <functional>
 #include <memory>
 
 #include "mdrr/common/status_or.h"
+#include "mdrr/net/coordinator.h"
 #include "mdrr/release/artifacts.h"
 #include "mdrr/release/controller.h"
 #include "mdrr/release/mechanism.h"
@@ -38,13 +49,30 @@ class ReleasePlan {
   }
 
   // Executes every planned stage and returns the artifacts (plus writes
-  // the spec's output files, when configured).
+  // the spec's output files, when configured). Under kDistributed this
+  // listens, accepts the configured worker count, runs, and commits.
   StatusOr<ReleaseArtifacts> Run() const;
+
+  // kDistributed only: runs the release over a coordinator the caller
+  // already set up (listening, workers accepted) -- the entry point for
+  // tests and embedders that need the ephemeral port before workers
+  // launch. Commits on success; aborts the workers and returns the first
+  // failure otherwise, never writing any configured output.
+  StatusOr<ReleaseArtifacts> RunDistributed(
+      net::Coordinator& coordinator) const;
 
  private:
   friend class ReleasePlanner;
   ReleasePlan(ReleaseSpec spec, Dataset owned, const Dataset* provided,
               std::unique_ptr<Mechanism> mechanism);
+
+  // The stage pipeline shared by every policy: exactly one of rng/engine
+  // is non-null. `mechanism_check` (optional) runs right after the
+  // mechanism stage -- the distributed path uses it to surface a worker
+  // failure before any downstream stage or output write runs.
+  StatusOr<ReleaseArtifacts> ExecuteStages(
+      Rng* rng, const BatchPerturbationEngine* engine,
+      const std::function<Status()>* mechanism_check) const;
 
   ReleaseSpec spec_;
   // kProvided binds by reference (no copy); the other sources own their

@@ -272,6 +272,18 @@ std::string PrintReleaseSpec(const ReleaseSpec& spec) {
   AppendLine(out, "execution.shard_size",
              static_cast<uint64_t>(spec.execution.shard_size));
   AppendLine(out, "execution.rng", std::string(ToString(spec.execution.rng)));
+  // Distributed-only fields, printed only under that policy so pre-
+  // distributed spec files keep their exact text (validation forces the
+  // fields to their defaults under every other policy, so round-trip
+  // equality still holds).
+  if (spec.execution.kind == PolicyKind::kDistributed) {
+    AppendLine(out, "execution.num_workers",
+               static_cast<uint64_t>(spec.execution.num_workers));
+    AppendLine(out, "execution.listen_port",
+               static_cast<uint64_t>(spec.execution.listen_port));
+    AppendSigned(out, "execution.worker_deadline_ms",
+                 spec.execution.worker_deadline_ms);
+  }
 
   if (!spec.output.randomized_csv.empty()) {
     AppendLine(out, "output.randomized_csv", spec.output.randomized_csv);
@@ -398,6 +410,19 @@ StatusOr<ReleaseSpec> ParseReleaseSpec(const std::string& text) {
       // parsing as mt19937.
       MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
       MDRR_ASSIGN_OR_RETURN(spec.execution.rng, RngKindFromString(token));
+    } else if (key == "execution.num_workers") {
+      MDRR_ASSIGN_OR_RETURN(uint64_t value, ParseOneUint(line));
+      spec.execution.num_workers = static_cast<size_t>(value);
+    } else if (key == "execution.listen_port") {
+      MDRR_ASSIGN_OR_RETURN(uint64_t value, ParseOneUint(line));
+      if (value > 65535) {
+        return Status::InvalidArgument(
+            "execution.listen_port must be a TCP port (0-65535)");
+      }
+      spec.execution.listen_port = static_cast<uint16_t>(value);
+    } else if (key == "execution.worker_deadline_ms") {
+      MDRR_ASSIGN_OR_RETURN(spec.execution.worker_deadline_ms,
+                            ParseOneInt(line));
     } else if (key == "output.randomized_csv") {
       spec.output.randomized_csv = line.rest;
     } else if (key == "output.synthetic_csv") {

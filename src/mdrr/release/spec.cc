@@ -53,7 +53,9 @@ bool operator==(const StreamingSpec& a, const StreamingSpec& b) {
 bool operator==(const ExecutionPolicy& a, const ExecutionPolicy& b) {
   return a.kind == b.kind && a.seed == b.seed &&
          a.num_threads == b.num_threads && a.shard_size == b.shard_size &&
-         a.rng == b.rng;
+         a.rng == b.rng && a.num_workers == b.num_workers &&
+         a.listen_port == b.listen_port &&
+         a.worker_deadline_ms == b.worker_deadline_ms;
 }
 
 bool operator==(const OutputSpec& a, const OutputSpec& b) {
@@ -92,6 +94,8 @@ const char* ToString(PolicyKind kind) {
       return "sequential";
     case PolicyKind::kSharded:
       return "sharded";
+    case PolicyKind::kDistributed:
+      return "distributed";
   }
   return "unknown";
 }
@@ -137,6 +141,7 @@ StatusOr<MechanismKind> MechanismKindFromString(std::string_view token) {
 StatusOr<PolicyKind> PolicyKindFromString(std::string_view token) {
   if (token == "sequential") return PolicyKind::kSequential;
   if (token == "sharded") return PolicyKind::kSharded;
+  if (token == "distributed") return PolicyKind::kDistributed;
   return Status::InvalidArgument("unknown execution policy '" +
                                  std::string(token) + "'");
 }
@@ -429,6 +434,24 @@ Status ValidateReleaseSpec(const ReleaseSpec& spec, size_t num_attributes) {
         "execution.rng philox requires the sharded policy (the sequential "
         "reference path is the mt19937 transcript); streaming plans are "
         "exempt -- the collector ignores execution.kind");
+  }
+  if (spec.execution.kind == PolicyKind::kDistributed) {
+    if (spec.execution.num_workers == 0) {
+      return Status::InvalidArgument(
+          "the distributed policy needs execution.num_workers >= 1");
+    }
+    if (spec.streaming.enabled) {
+      return Status::InvalidArgument(
+          "streaming ingest runs over the collectd socket endpoint, not "
+          "the distributed release policy");
+    }
+  } else {
+    if (spec.execution.num_workers != 0 || spec.execution.listen_port != 0 ||
+        spec.execution.worker_deadline_ms != 0) {
+      return Status::InvalidArgument(
+          "execution.num_workers/listen_port/worker_deadline_ms given but "
+          "the policy is not distributed");
+    }
   }
 
   // Outputs.

@@ -44,10 +44,15 @@ enum class MechanismKind {
 // How the plan executes. kSequential is the single-stream reference path
 // (one Rng drawn in stage order); kSharded routes every stage through
 // the BatchPerturbationEngine contracts, bit-identical for any
-// num_threads at fixed (seed, shard_size).
+// num_threads at fixed (seed, shard_size). kDistributed farms the
+// sharded column perturbations out to worker processes over the net/
+// transport, reproducing the kSharded transcript bit-for-bit at the same
+// (seed, shard_size, rng) for any worker count; every serial stage
+// (adjustment, synthesis, estimation) still runs on the coordinator.
 enum class PolicyKind {
   kSequential,
   kSharded,
+  kDistributed,
 };
 
 // Where the microdata comes from.
@@ -178,6 +183,15 @@ struct ExecutionPolicy {
   // definition) unless streaming is enabled -- the streaming collector
   // keys randomness per report and ignores `kind`.
   RngKind rng = RngKind::kMt19937;
+  // kDistributed only. Worker processes the coordinator waits for before
+  // perturbing; required >= 1 under kDistributed, must stay 0 otherwise.
+  size_t num_workers = 0;
+  // kDistributed only. Coordinator listen port; 0 picks an ephemeral
+  // port (programmatic runs read it back from the coordinator).
+  uint16_t listen_port = 0;
+  // kDistributed only. Per-operation network deadline in milliseconds;
+  // 0 means the transport default (net/socket.h kDefaultDeadlineMs).
+  int64_t worker_deadline_ms = 0;
 };
 
 // Where to persist the products; empty paths mean "keep in memory only".

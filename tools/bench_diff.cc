@@ -20,10 +20,13 @@
 //
 // Column semantics are per-stage: most stages use t1/tN as 1-thread vs
 // N-thread wall times, but the rng-policy stage uses them as the two
-// RNG policies at the same thread count (t1 = mt19937, tN = philox).
-// The delta logic below is agnostic -- a slower current t1 is an
-// mt19937 regression and a slower tN a philox regression either way --
-// and bit_identical remains each stage's own determinism contract.
+// RNG policies at the same thread count (t1 = mt19937, tN = philox),
+// and release-distributed uses t1 = the in-process sharded engine at
+// --threads vs tN = the same workload farmed over loopback TCP to 2
+// worker endpoints (its "speedup" is the transport overhead ratio).
+// The delta logic below is agnostic -- a slower current t1 or tN is a
+// regression of whatever that column measures either way -- and
+// bit_identical remains each stage's own determinism contract.
 //
 // Exit status: 0 on success (warnings included), 1 if any current stage
 // lost bit-identity or --fail_on_regression was set and a WARN fired,

@@ -31,6 +31,15 @@
 //       streaming runs only): a different deterministic transcript that
 //       is additionally invariant under --shard.
 //
+//       Coordinator mode for a multi-process release:
+//         --listen=PORT [--workers=N] [--worker_deadline_ms=MS]
+//       forces the distributed execution policy: the CLI binds PORT
+//       (0 = ephemeral), waits for N tools/mdrr_worker processes to
+//       connect, and runs the release with column perturbation farmed
+//       out over TCP -- bit-identical to --threads at the same --seed /
+//       --shard / --rng for any worker count. Any worker failure aborts
+//       the release before output is written.
+//
 //       A spec with streaming.enabled runs through the windowed streaming
 //       collector instead of a batch plan: the spec's dataset replays as
 //       a fixed arrival schedule and stdout is the per-window transcript
@@ -238,6 +247,30 @@ int CmdRun(const FlagSet& flags) {
     auto built = SpecFromFlags(flags);
     if (!built.ok()) return Fail(built.status());
     spec = std::move(built).value();
+  }
+
+  // Coordinator mode: --listen turns the run into a distributed release
+  // (the process listens, waits for --workers worker processes, and
+  // farms column perturbation out to them). The transcript stays
+  // bit-identical to the sharded policy at the same (seed, shard,
+  // rng) for any worker count.
+  if (flags.Has("listen")) {
+    const int64_t port = flags.GetInt("listen", 0);
+    if (port < 0 || port > 65535) {
+      return Fail(Status::InvalidArgument("--listen must be 0..65535"));
+    }
+    spec.execution.kind = release::PolicyKind::kDistributed;
+    spec.execution.listen_port = static_cast<uint16_t>(port);
+  }
+  if (flags.Has("workers")) {
+    const int64_t workers = flags.GetInt("workers", 0);
+    if (workers < 1) {
+      return Fail(Status::InvalidArgument("--workers must be >= 1"));
+    }
+    spec.execution.num_workers = static_cast<size_t>(workers);
+  }
+  if (flags.Has("worker_deadline_ms")) {
+    spec.execution.worker_deadline_ms = flags.GetInt("worker_deadline_ms", 0);
   }
 
   if (flags.GetBool("dump-spec", flags.GetBool("dump_spec", false))) {

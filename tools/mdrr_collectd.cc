@@ -13,6 +13,20 @@
 //       [--verify_replay]      re-run single-threaded, require the
 //                              transcripts to match bit for bit
 //
+// Socket mode (real ingest instead of an in-process replay):
+//
+//   mdrr_collectd --spec=stream.spec --listen=PORT
+//       [--shards=S] [--ring_buckets=B] [--deadline_ms=MS]
+//       Bind PORT (0 = ephemeral, printed to stderr), accept ONE ingest
+//       client, and feed its reports through the collector; stdout is
+//       the same window transcript the in-process replay prints.
+//
+//   mdrr_collectd --spec=stream.spec --input=reports.csv --connect=HOST:PORT
+//       [--reports=N] [--batch=K] [--deadline_ms=MS]
+//       Party side: perturb the CSV rows locally (sequence-keyed
+//       randomness, so the server never sees true values) and stream
+//       them to a --listen instance.
+//
 // The spec must have streaming.enabled; parties are simulated by
 // replaying the CSV rows as a fixed arrival schedule (report s = row
 // s % num_rows perturbed with sequence-keyed randomness), so stdout is
@@ -31,7 +45,10 @@
 #include <vector>
 
 #include "mdrr/common/flags.h"
+#include "mdrr/common/string_util.h"
 #include "mdrr/dataset/csv.h"
+#include "mdrr/net/socket.h"
+#include "mdrr/protocol/net_ingest.h"
 #include "mdrr/protocol/stream_ingest.h"
 #include "mdrr/release/serialization.h"
 
@@ -77,9 +94,82 @@ StatusOr<protocol::StreamingReplayResult> Run(
   return protocol::RunStreamingReplay(spec, dataset, options);
 }
 
+// Socket server: accept one ingest client, run the collector on its
+// reports, print the transcript.
+int ServeSocket(const FlagSet& flags, const release::ReleaseSpec& spec) {
+  const int64_t port = flags.GetInt("listen", 0);
+  if (port < 0 || port > 65535) {
+    return Fail(Status::InvalidArgument("--listen must be 0..65535"));
+  }
+  mdrr::net::TcpListener listener;
+  Status bound = listener.Listen(static_cast<uint16_t>(port));
+  if (!bound.ok()) return Fail(bound);
+  std::fprintf(stderr, "listening on port %u\n", listener.port());
+
+  protocol::StreamIngestServeOptions options;
+  options.collector.num_shards =
+      static_cast<size_t>(flags.GetInt("shards", 1));
+  options.collector.ring_buckets =
+      static_cast<size_t>(flags.GetInt("ring_buckets", 4));
+  options.deadline_ms = flags.GetInt("deadline_ms", 0);
+  auto served = protocol::ServeStreamIngest(spec, listener, options);
+  if (!served.ok()) return Fail(served.status());
+
+  std::fputs(release::PrintStreamWindows(served.value().windows).c_str(),
+             stdout);
+  std::printf("ingested %llu reports over socket; epsilon spent %.6g\n",
+              static_cast<unsigned long long>(
+                  served.value().reports_ingested),
+              served.value().epsilon_spent);
+  return 0;
+}
+
+// Socket client: replay the input CSV into a --listen instance.
+int ConnectSocket(const FlagSet& flags, const release::ReleaseSpec& spec,
+                  const Dataset& dataset) {
+  const std::string target = flags.GetString("connect", "");
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    return Fail(Status::InvalidArgument("--connect takes HOST:PORT"));
+  }
+  auto port = mdrr::ParseInt64(target.substr(colon + 1));
+  if (!port.ok() || port.value() < 1 || port.value() > 65535) {
+    return Fail(Status::InvalidArgument("--connect port must be 1..65535"));
+  }
+
+  protocol::StreamIngestClientOptions options;
+  options.total_reports = static_cast<uint64_t>(flags.GetInt("reports", 0));
+  options.batch_size = static_cast<uint32_t>(flags.GetInt("batch", 512));
+  options.deadline_ms = flags.GetInt("deadline_ms", 0);
+  auto sent = protocol::StreamReportsOverSocket(
+      spec, dataset, target.substr(0, colon),
+      static_cast<uint16_t>(port.value()), options);
+  if (!sent.ok()) return Fail(sent.status());
+  std::printf("streamed %llu reports; server ingested %llu; "
+              "epsilon spent %.6g\n",
+              static_cast<unsigned long long>(sent.value().reports_sent),
+              static_cast<unsigned long long>(sent.value().reports_ingested),
+              sent.value().epsilon_spent);
+  return 0;
+}
+
 int Main(const FlagSet& flags) {
   const std::string spec_path = flags.GetString("spec", "");
   const std::string input_path = flags.GetString("input", "");
+  if (flags.Has("listen")) {
+    if (spec_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: mdrr_collectd --spec=stream.spec --listen=PORT\n");
+      return 1;
+    }
+    auto spec = release::ReadReleaseSpec(spec_path);
+    if (!spec.ok()) return Fail(spec.status());
+    if (!spec.value().streaming.enabled) {
+      return Fail(Status::InvalidArgument(
+          "socket ingest needs a spec with streaming enabled"));
+    }
+    return ServeSocket(flags, spec.value());
+  }
   if (spec_path.empty() || input_path.empty()) {
     std::fprintf(stderr,
                  "usage: mdrr_collectd --spec=stream.spec --input=data.csv "
@@ -97,6 +187,10 @@ int Main(const FlagSet& flags) {
   auto dataset =
       mdrr::ReadCsvDataset(input_path, !flags.GetBool("no_header", false));
   if (!dataset.ok()) return Fail(dataset.status());
+
+  if (flags.Has("connect")) {
+    return ConnectSocket(flags, spec.value(), dataset.value());
+  }
 
   release::StreamingSnapshot resume_snapshot;
   const release::StreamingSnapshot* resume = nullptr;
