@@ -47,6 +47,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -219,6 +220,61 @@ int main(int argc, char** argv) {
       !SameData(philox_one.value().randomized,
                 independent_one.value().randomized);
   stages.push_back({"rng-policy", independent_tn, philox_tn, philox_same});
+  PrintStage(stages.back());
+
+  // --- Frequency-oracle backends: DE vs OUE vs OLH at equal epsilon.
+  // Every backend fans every attribute through the engine's RunOracle at
+  // the per-attribute epsilon the RR design spends, so the columns
+  // compare encodings at equal privacy budget. t1 = DE (the default RR
+  // path through the oracle seam), tN = OLH, so the "speedup" column is
+  // DE's throughput advantage over local hashing rather than thread
+  // scaling; OUE's time prints as a comment line. The identical bit
+  // asserts every backend's cross-thread determinism (support counts at
+  // 1 thread == counts at --threads) plus that the three backends
+  // produce three distinct count transcripts. ---
+  auto run_backend = [&](mdrr::OracleBackend backend,
+                         const BatchPerturbationEngine& engine)
+      -> mdrr::StatusOr<std::vector<std::vector<int64_t>>> {
+    std::vector<std::vector<int64_t>> counts;
+    for (size_t j = 0; j < data.num_attributes(); ++j) {
+      const size_t r = data.attribute(j).cardinality();
+      const double eps =
+          mdrr::MakeIndependentMatrix(r, independent_options).Epsilon();
+      MDRR_ASSIGN_OR_RETURN(std::unique_ptr<mdrr::FrequencyOracle> oracle,
+                            mdrr::MakeFrequencyOracle(backend, r, eps));
+      counts.push_back(engine.RunOracle(*oracle, data.column(j), j).counts);
+    }
+    return counts;
+  };
+  timer.Restart();
+  auto oracle_de = run_backend(mdrr::OracleBackend::kDirect, parallel);
+  double oracle_de_t = timer.Seconds();
+  timer.Restart();
+  auto oracle_oue = run_backend(mdrr::OracleBackend::kOptimizedUnary,
+                                parallel);
+  double oracle_oue_t = timer.Seconds();
+  timer.Restart();
+  auto oracle_olh = run_backend(mdrr::OracleBackend::kLocalHashing, parallel);
+  double oracle_olh_t = timer.Seconds();
+  auto oracle_de_one = run_backend(mdrr::OracleBackend::kDirect, single);
+  auto oracle_oue_one = run_backend(mdrr::OracleBackend::kOptimizedUnary,
+                                    single);
+  auto oracle_olh_one = run_backend(mdrr::OracleBackend::kLocalHashing,
+                                    single);
+  if (!oracle_de.ok() || !oracle_oue.ok() || !oracle_olh.ok() ||
+      !oracle_de_one.ok() || !oracle_oue_one.ok() || !oracle_olh_one.ok()) {
+    std::fprintf(stderr, "oracle-backends failed\n");
+    return 1;
+  }
+  bool oracle_same = oracle_de.value() == oracle_de_one.value() &&
+                     oracle_oue.value() == oracle_oue_one.value() &&
+                     oracle_olh.value() == oracle_olh_one.value() &&
+                     oracle_de.value() != oracle_oue.value() &&
+                     oracle_de.value() != oracle_olh.value() &&
+                     oracle_oue.value() != oracle_olh.value();
+  std::printf("# oracle-backends: oue tN=%.3fs\n", oracle_oue_t);
+  stages.push_back({"oracle-backends", oracle_de_t, oracle_olh_t,
+                    oracle_same});
   PrintStage(stages.back());
 
   // --- Dependence assessment (Corollary 1 pairwise statistics). ---

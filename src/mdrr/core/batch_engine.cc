@@ -46,6 +46,10 @@ PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
   PerturbedColumn result;
   result.codes.resize(n);
 
+  // The frequency-oracle seam: the direct-encoding oracle's batched entry
+  // points delegate draw-for-draw to the RrMatrix kernels, so the sharded
+  // transcript is bit-identical to calling the matrix directly.
+  const DirectEncodingOracle oracle(matrix);
   const size_t workers = ResolveWorkerCount(num_threads, n, shard_size);
   std::vector<std::vector<int64_t>> worker_counts(
       workers, std::vector<int64_t>(matrix.size(), 0));
@@ -53,15 +57,15 @@ PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
   ParallelChunks(n, shard_size, num_threads,
                  [&](size_t worker, size_t shard, size_t begin, size_t end) {
                    if (kind == RngKind::kPhilox) {
-                     matrix.RandomizeRangeCounterInto(
+                     oracle.AccumulateRangeCounter(
                          input, begin, end, family.base_seed(), counter_stream,
                          result.codes.data(), worker_counts[worker].data());
                      return;
                    }
                    Rng rng = family.Stream(stream_base + shard);
-                   matrix.RandomizeRangeInto(input, begin, end, rng,
-                                             result.codes.data(),
-                                             worker_counts[worker].data());
+                   oracle.AccumulateRange(input, begin, end, rng,
+                                          result.codes.data(),
+                                          worker_counts[worker].data());
                  });
 
   stats::FrequencyTable total(std::vector<int64_t>(matrix.size(), 0));
@@ -69,6 +73,55 @@ PerturbedColumn PerturbColumnSharded(const RrMatrix& matrix,
     total.Absorb(stats::FrequencyTable(std::move(partial)));
   }
   result.lambda = total.Proportions();
+  return result;
+}
+
+// Fans a generic oracle backend over the shard grid with the SAME
+// randomness addressing as PerturbColumnSharded: mt19937 shard s draws
+// family.Stream(stream_base + s); philox records draw element blocks of
+// stream `counter_stream`. Frequency-only backends contribute support
+// counts without a microdata column.
+OracleColumnResult AccumulateOracleColumnSharded(
+    const FrequencyOracle& oracle, const std::vector<uint32_t>& input,
+    const RngStreamFamily& family, uint64_t stream_base, size_t shard_size,
+    size_t num_threads, RngKind kind, uint64_t counter_stream) {
+  const size_t n = input.size();
+  OracleColumnResult result;
+  const bool microdata = oracle.produces_microdata();
+  if (microdata) result.codes.resize(n);
+
+  const size_t workers = ResolveWorkerCount(num_threads, n, shard_size);
+  std::vector<std::vector<int64_t>> worker_counts(
+      workers, std::vector<int64_t>(oracle.domain_size(), 0));
+
+  ParallelChunks(n, shard_size, num_threads,
+                 [&](size_t worker, size_t shard, size_t begin, size_t end) {
+                   uint32_t* out =
+                       microdata ? result.codes.data() : nullptr;
+                   if (kind == RngKind::kPhilox) {
+                     oracle.AccumulateRangeCounter(
+                         input, begin, end, family.base_seed(), counter_stream,
+                         out, worker_counts[worker].data());
+                     return;
+                   }
+                   Rng rng = family.Stream(stream_base + shard);
+                   oracle.AccumulateRange(input, begin, end, rng, out,
+                                          worker_counts[worker].data());
+                 });
+
+  result.counts.assign(oracle.domain_size(), 0);
+  for (const std::vector<int64_t>& partial : worker_counts) {
+    for (size_t v = 0; v < partial.size(); ++v) {
+      result.counts[v] += partial[v];
+    }
+  }
+  result.lambda.assign(oracle.domain_size(), 0.0);
+  if (n > 0) {
+    for (size_t v = 0; v < result.counts.size(); ++v) {
+      result.lambda[v] = static_cast<double>(result.counts[v]) /
+                         static_cast<double>(n);
+    }
+  }
   return result;
 }
 
@@ -82,6 +135,17 @@ BatchPerturbationEngine::BatchPerturbationEngine(
 
 size_t BatchPerturbationEngine::NumShards(size_t num_rows) const {
   return NumChunks(num_rows, options_.shard_size);
+}
+
+OracleColumnResult BatchPerturbationEngine::RunOracle(
+    const FrequencyOracle& oracle, const std::vector<uint32_t>& codes,
+    size_t column_index) const {
+  const size_t num_shards = NumShards(codes.size());
+  RngStreamFamily family(options_.seed);
+  return AccumulateOracleColumnSharded(
+      oracle, codes, family, 1 + column_index * num_shards,
+      options_.shard_size, options_.num_threads, options_.rng,
+      /*counter_stream=*/1 + column_index);
 }
 
 StatusOr<RrIndependentResult> BatchPerturbationEngine::RunIndependent(

@@ -34,6 +34,7 @@
 
 #include "mdrr/common/status_or.h"
 #include "mdrr/core/adjustment.h"
+#include "mdrr/core/frequency_oracle.h"
 #include "mdrr/core/perturber.h"
 #include "mdrr/core/rr_clusters.h"
 #include "mdrr/core/rr_independent.h"
@@ -83,6 +84,15 @@ struct BatchPerturbationOptions {
   ColumnShardPerturber shard_perturber;
 };
 
+// One column's worth of oracle reports: support counts (exact integer
+// sums over all shards), their proportions, and -- for microdata-capable
+// backends only -- the randomized codes.
+struct OracleColumnResult {
+  std::vector<uint32_t> codes;  // Empty unless produces_microdata().
+  std::vector<int64_t> counts;
+  std::vector<double> lambda;  // counts / n (per-entry division).
+};
+
 class BatchPerturbationEngine {
  public:
   explicit BatchPerturbationEngine(const BatchPerturbationOptions& options);
@@ -90,6 +100,19 @@ class BatchPerturbationEngine {
   // Parallel Protocol 1: same result contract as RunRrIndependent.
   StatusOr<RrIndependentResult> RunIndependent(
       const Dataset& dataset, const RrIndependentOptions& options) const;
+
+  // Fans a generic frequency-oracle backend over one column with the
+  // engine's sharding and RNG policy, using the SAME randomness
+  // addressing as column `column_index` of RunIndependent (mt19937:
+  // shard s of the column draws family.Stream(1 + column_index *
+  // NumShards(n) + s); philox: record i draws element blocks of counter
+  // stream 1 + column_index). Support counts merge as exact integer
+  // sums, so the result is bit-identical for any thread count -- and
+  // for the direct-encoding backend, bit-identical to RunIndependent's
+  // perturbed column at the same address.
+  OracleColumnResult RunOracle(const FrequencyOracle& oracle,
+                               const std::vector<uint32_t>& codes,
+                               size_t column_index) const;
 
   // Parallel Protocol 2: same result contract as RunRrJoint.
   StatusOr<RrJointResult> RunJoint(const Dataset& dataset,

@@ -1,20 +1,100 @@
 #include "mdrr/core/frequency_oracle.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "mdrr/common/check.h"
 #include "mdrr/core/estimator.h"
 
 namespace mdrr {
 
+namespace {
+
+// OLH hash range: g = floor(e^eps) + 1 (Wang et al., Section 5.2), at
+// least 2, capped so an extreme epsilon cannot blow up the bucket GRR
+// domain (beyond the cap the mechanism is effectively noiseless anyway).
+size_t OlhNumBuckets(double epsilon) {
+  constexpr double kMaxBuckets = 1 << 20;
+  const double raw = std::floor(std::exp(std::min(epsilon, 30.0))) + 1.0;
+  return static_cast<size_t>(std::max(2.0, std::min(raw, kMaxBuckets)));
+}
+
+}  // namespace
+
+const char* ToString(OracleBackend backend) {
+  switch (backend) {
+    case OracleBackend::kDirect:
+      return "de";
+    case OracleBackend::kSymmetricUnary:
+      return "sue";
+    case OracleBackend::kOptimizedUnary:
+      return "oue";
+    case OracleBackend::kLocalHashing:
+      return "olh";
+  }
+  return "unknown";
+}
+
+StatusOr<OracleBackend> OracleBackendFromString(const std::string& token) {
+  if (token == "de") return OracleBackend::kDirect;
+  if (token == "sue") return OracleBackend::kSymmetricUnary;
+  if (token == "oue") return OracleBackend::kOptimizedUnary;
+  if (token == "olh") return OracleBackend::kLocalHashing;
+  return Status::InvalidArgument("unknown oracle backend '" + token +
+                                 "' (expected de|sue|oue|olh)");
+}
+
+StatusOr<std::vector<double>> FrequencyOracle::EstimateFromLambda(
+    const std::vector<double>& lambda) const {
+  if (lambda.size() != r_) {
+    return Status::InvalidArgument("lambda size does not match domain size");
+  }
+  std::vector<double> estimates(r_);
+  double denom = p_ - q_;
+  for (size_t v = 0; v < r_; ++v) {
+    estimates[v] = (lambda[v] - q_) / denom;
+  }
+  return estimates;
+}
+
+StatusOr<std::vector<double>> FrequencyOracle::EstimateFrequencies(
+    const std::vector<int64_t>& counts, int64_t n) const {
+  if (counts.size() != r_) {
+    return Status::InvalidArgument("support count vector size mismatch");
+  }
+  if (n <= 0) {
+    return Status::InvalidArgument("sample size must be positive");
+  }
+  std::vector<double> lambda(r_);
+  for (size_t v = 0; v < r_; ++v) {
+    lambda[v] = static_cast<double>(counts[v]) / static_cast<double>(n);
+  }
+  return EstimateFromLambda(lambda);
+}
+
+double FrequencyOracle::TheoreticalVariance(double pi_v, int64_t n) const {
+  MDRR_CHECK_GT(n, 0);
+  double nd = static_cast<double>(n);
+  double denom = p_ - q_;
+  return q_ * (1.0 - q_) / (nd * denom * denom) +
+         pi_v * (1.0 - p_ - q_) / (nd * denom);
+}
+
 DirectEncodingOracle::DirectEncodingOracle(size_t r, double epsilon)
-    : r_(r),
-      epsilon_(epsilon),
-      matrix_(RrMatrix::OptimalForEpsilon(r, epsilon)),
-      p_(matrix_.Prob(0, 0)),
-      q_(r > 1 ? matrix_.Prob(0, 1) : 0.0) {
+    : FrequencyOracle(r, epsilon),
+      matrix_(RrMatrix::OptimalForEpsilon(r, epsilon)) {
   MDRR_CHECK_GE(r, 2u);
   MDRR_CHECK_GT(epsilon, 0.0);
+  p_ = matrix_.Prob(0, 0);
+  q_ = matrix_.Prob(0, 1);
+}
+
+DirectEncodingOracle::DirectEncodingOracle(RrMatrix matrix)
+    : FrequencyOracle(matrix.size(), matrix.Epsilon()),
+      matrix_(std::move(matrix)) {
+  p_ = matrix_.Prob(0, 0);
+  q_ = r_ > 1 ? matrix_.Prob(0, 1) : 0.0;
 }
 
 uint32_t DirectEncodingOracle::Randomize(uint32_t value, Rng& rng) const {
@@ -26,29 +106,47 @@ StatusOr<std::vector<double>> DirectEncodingOracle::EstimateFrequencies(
   if (reports.empty()) {
     return Status::InvalidArgument("no reports to estimate from");
   }
-  std::vector<double> lambda = EmpiricalDistribution(reports, r_);
-  // For the uniform-mixture matrix, (P^T)^{-1} lambda has the closed form
-  // (lambda_v - q) / (p - q) because the row/column sums are 1.
-  std::vector<double> estimates(r_);
-  double denom = p_ - q_;
-  for (size_t v = 0; v < r_; ++v) {
-    estimates[v] = (lambda[v] - q_) / denom;
-  }
-  return estimates;
+  return EstimateFromLambda(EmpiricalDistribution(reports, r_));
 }
 
-double DirectEncodingOracle::TheoreticalVariance(double pi_v,
-                                                 int64_t n) const {
-  MDRR_CHECK_GT(n, 0);
-  double nd = static_cast<double>(n);
-  double denom = p_ - q_;
-  return q_ * (1.0 - q_) / (nd * denom * denom) +
-         pi_v * (1.0 - p_ - q_) / (nd * denom);
+void DirectEncodingOracle::AccumulateRange(const std::vector<uint32_t>& codes,
+                                           size_t begin, size_t end, Rng& rng,
+                                           uint32_t* out,
+                                           int64_t* counts) const {
+  if (out != nullptr) {
+    matrix_.RandomizeRangeInto(codes, begin, end, rng, out, counts);
+    return;
+  }
+  // Frequency-only caller: the kernel still needs a code buffer (absolute
+  // indexing), but the microdata is dropped.
+  std::vector<uint32_t> scratch(end);
+  matrix_.RandomizeRangeInto(codes, begin, end, rng, scratch.data(), counts);
+}
+
+void DirectEncodingOracle::AccumulateRangeCounter(
+    const std::vector<uint32_t>& codes, size_t begin, size_t end,
+    uint64_t seed, uint64_t stream, uint32_t* out, int64_t* counts) const {
+  if (out != nullptr) {
+    matrix_.RandomizeRangeCounterInto(codes, begin, end, seed, stream, out,
+                                      counts);
+    return;
+  }
+  std::vector<uint32_t> scratch(end);
+  matrix_.RandomizeRangeCounterInto(codes, begin, end, seed, stream,
+                                    scratch.data(), counts);
+}
+
+StatusOr<std::vector<double>> DirectEncodingOracle::EstimateFromLambda(
+    const std::vector<double>& lambda) const {
+  // The single implementation of the RR inversion: for uniform-mixture
+  // matrices the structured Eq. (2) estimator evaluates the
+  // (lambda - q)/(p - q) closed form in O(r) with no factorization.
+  return EstimateDistribution(matrix_, lambda);
 }
 
 UnaryEncodingOracle::UnaryEncodingOracle(size_t r, double epsilon,
                                          Variant variant)
-    : r_(r), epsilon_(epsilon), variant_(variant) {
+    : FrequencyOracle(r, epsilon), variant_(variant) {
   MDRR_CHECK_GE(r, 2u);
   MDRR_CHECK_GT(epsilon, 0.0);
   if (variant == Variant::kSymmetric) {
@@ -75,24 +173,6 @@ std::vector<uint8_t> UnaryEncodingOracle::Randomize(uint32_t value,
   return bits;
 }
 
-StatusOr<std::vector<double>> UnaryEncodingOracle::EstimateFrequencies(
-    const std::vector<int64_t>& bit_counts, int64_t n) const {
-  if (bit_counts.size() != r_) {
-    return Status::InvalidArgument("bit count vector size mismatch");
-  }
-  if (n <= 0) {
-    return Status::InvalidArgument("sample size must be positive");
-  }
-  std::vector<double> estimates(r_);
-  double denom = p_ - q_;
-  for (size_t v = 0; v < r_; ++v) {
-    double observed = static_cast<double>(bit_counts[v]) /
-                      static_cast<double>(n);
-    estimates[v] = (observed - q_) / denom;
-  }
-  return estimates;
-}
-
 StatusOr<std::vector<double>> UnaryEncodingOracle::EstimateFromReports(
     const std::vector<std::vector<uint8_t>>& reports) const {
   if (reports.empty()) {
@@ -109,13 +189,135 @@ StatusOr<std::vector<double>> UnaryEncodingOracle::EstimateFromReports(
                              static_cast<int64_t>(reports.size()));
 }
 
-double UnaryEncodingOracle::TheoreticalVariance(double pi_v,
-                                                int64_t n) const {
-  MDRR_CHECK_GT(n, 0);
-  double nd = static_cast<double>(n);
-  double denom = p_ - q_;
-  return q_ * (1.0 - q_) / (nd * denom * denom) +
-         pi_v * (1.0 - p_ - q_) / (nd * denom);
+void UnaryEncodingOracle::AccumulateRange(const std::vector<uint32_t>& codes,
+                                          size_t begin, size_t end, Rng& rng,
+                                          uint32_t* /*out*/,
+                                          int64_t* counts) const {
+  MDRR_CHECK_LE(end, codes.size());
+  // Per record, bits flip in value order -- the exact draw sequence of
+  // Randomize, so batched and per-record paths share one transcript.
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t code = codes[i];
+    MDRR_DCHECK_LT(code, r_);
+    for (size_t v = 0; v < r_; ++v) {
+      const bool bit = rng.Bernoulli(v == code ? p_ : q_);
+      if (counts != nullptr && bit) ++counts[v];
+    }
+  }
+}
+
+void UnaryEncodingOracle::AccumulateRangeCounter(
+    const std::vector<uint32_t>& codes, size_t begin, size_t end,
+    uint64_t seed, uint64_t stream, uint32_t* /*out*/,
+    int64_t* counts) const {
+  MDRR_CHECK_LE(end, codes.size());
+  // Record i's bit v owns element i * r + v: r elements per record, fixed
+  // budget, so the draw plan is invariant under shard grain and threads.
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t code = codes[i];
+    MDRR_DCHECK_LT(code, r_);
+    const uint64_t base = static_cast<uint64_t>(i) * r_;
+    for (size_t v = 0; v < r_; ++v) {
+      const PhiloxBlock block = PhiloxElementBlock(seed, stream, base + v);
+      const double unit = PhiloxUnitFromU64(
+          (static_cast<uint64_t>(block.w[1]) << 32) | block.w[0]);
+      const bool bit = unit < (v == code ? p_ : q_);
+      if (counts != nullptr && bit) ++counts[v];
+    }
+  }
+}
+
+LocalHashingOracle::LocalHashingOracle(size_t r, double epsilon)
+    : FrequencyOracle(r, epsilon),
+      g_(OlhNumBuckets(epsilon)),
+      grr_(RrMatrix::OptimalForEpsilon(g_, epsilon)) {
+  MDRR_CHECK_GE(r, 2u);
+  MDRR_CHECK_GT(epsilon, 0.0);
+  p_ = grr_.Prob(0, 0);
+  q_ = 1.0 / static_cast<double>(g_);
+}
+
+uint32_t LocalHashingOracle::HashBucket(uint64_t hash_seed, uint32_t value,
+                                        size_t num_buckets) {
+  // SplitMix64 finalizer over the (seed, value) pair: full avalanche,
+  // then the fixed-budget multiplicative range reduction.
+  uint64_t z = hash_seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<uint64_t>(value) + 1ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<uint32_t>(PhiloxBoundedFromRaw(z, num_buckets));
+}
+
+void LocalHashingOracle::AccumulateRange(const std::vector<uint32_t>& codes,
+                                         size_t begin, size_t end, Rng& rng,
+                                         uint32_t* /*out*/,
+                                         int64_t* counts) const {
+  MDRR_CHECK_LE(end, codes.size());
+  for (size_t i = begin; i < end; ++i) {
+    MDRR_DCHECK_LT(codes[i], r_);
+    const uint64_t hash_seed = rng.engine()();
+    const uint32_t bucket = HashBucket(hash_seed, codes[i], g_);
+    const uint32_t y = grr_.Randomize(bucket, rng);
+    if (counts == nullptr) continue;
+    for (size_t v = 0; v < r_; ++v) {
+      if (HashBucket(hash_seed, static_cast<uint32_t>(v), g_) == y) {
+        ++counts[v];
+      }
+    }
+  }
+}
+
+void LocalHashingOracle::AccumulateRangeCounter(
+    const std::vector<uint32_t>& codes, size_t begin, size_t end,
+    uint64_t seed, uint64_t stream, uint32_t* /*out*/,
+    int64_t* counts) const {
+  MDRR_CHECK_LE(end, codes.size());
+  // Record i owns elements 2i (raw channel = its hash seed) and 2i + 1
+  // (the bucket GRR's element block): two elements per record, fixed.
+  for (size_t i = begin; i < end; ++i) {
+    MDRR_DCHECK_LT(codes[i], r_);
+    const uint64_t element = 2 * static_cast<uint64_t>(i);
+    const PhiloxBlock block = PhiloxElementBlock(seed, stream, element);
+    const uint64_t hash_seed =
+        (static_cast<uint64_t>(block.w[3]) << 32) | block.w[2];
+    const uint32_t bucket = HashBucket(hash_seed, codes[i], g_);
+    const uint32_t y = grr_.RandomizeCounter(bucket, seed, stream,
+                                             element + 1);
+    if (counts == nullptr) continue;
+    for (size_t v = 0; v < r_; ++v) {
+      if (HashBucket(hash_seed, static_cast<uint32_t>(v), g_) == y) {
+        ++counts[v];
+      }
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<FrequencyOracle>> MakeFrequencyOracle(
+    OracleBackend backend, size_t r, double epsilon) {
+  if (r < 2) {
+    return Status::InvalidArgument(
+        "frequency oracles need a domain of at least 2 categories");
+  }
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "frequency oracles need a finite epsilon > 0");
+  }
+  switch (backend) {
+    case OracleBackend::kDirect:
+      return std::unique_ptr<FrequencyOracle>(
+          new DirectEncodingOracle(r, epsilon));
+    case OracleBackend::kSymmetricUnary:
+      return std::unique_ptr<FrequencyOracle>(new UnaryEncodingOracle(
+          r, epsilon, UnaryEncodingOracle::Variant::kSymmetric));
+    case OracleBackend::kOptimizedUnary:
+      return std::unique_ptr<FrequencyOracle>(new UnaryEncodingOracle(
+          r, epsilon, UnaryEncodingOracle::Variant::kOptimized));
+    case OracleBackend::kLocalHashing:
+      return std::unique_ptr<FrequencyOracle>(
+          new LocalHashingOracle(r, epsilon));
+  }
+  return Status::InvalidArgument("unknown oracle backend");
 }
 
 }  // namespace mdrr

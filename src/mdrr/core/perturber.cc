@@ -1,5 +1,7 @@
 #include "mdrr/core/perturber.h"
 
+#include "mdrr/core/frequency_oracle.h"
+
 namespace mdrr {
 
 ColumnPerturber SequentialPerturber(Rng& rng) {
@@ -7,15 +9,17 @@ ColumnPerturber SequentialPerturber(Rng& rng) {
                 size_t /*column_index*/) {
     PerturbedColumn result;
     result.codes.resize(codes.size());
-    // Fused perturb+count: the frequency of each output category is
-    // accumulated inside the randomization sweep, so the column is
-    // traversed once instead of twice. λ̂ is then counts * (1/n) -- the
-    // exact arithmetic EmpiricalDistribution performs (reciprocal
-    // multiply, not per-entry division), so estimates are bit-identical
-    // to the unfused path.
+    // Fused perturb+count through the frequency-oracle seam: the direct-
+    // encoding oracle delegates draw-for-draw to RandomizeRangeInto, so
+    // the frequency of each output category is accumulated inside the
+    // randomization sweep and the column is traversed once. λ̂ is then
+    // counts * (1/n) -- the exact arithmetic EmpiricalDistribution
+    // performs (reciprocal multiply, not per-entry division), so
+    // estimates are bit-identical to the unfused path.
+    DirectEncodingOracle oracle(matrix);
     std::vector<int64_t> counts(matrix.size(), 0);
-    matrix.RandomizeRangeInto(codes, 0, codes.size(), rng,
-                              result.codes.data(), counts.data());
+    oracle.AccumulateRange(codes, 0, codes.size(), rng, result.codes.data(),
+                           counts.data());
     result.lambda.assign(matrix.size(), 0.0);
     if (!codes.empty()) {
       const double inv_n = 1.0 / static_cast<double>(codes.size());

@@ -1,0 +1,66 @@
+// Equal-epsilon comparison of frequency-oracle backends (DE/SUE/OUE/OLH)
+// over one dataset: every backend randomizes every attribute at the SAME
+// per-attribute epsilon, and the report records how far each backend's
+// projected estimate lands from the empirical truth, next to its
+// theoretical variance. This is the utility side of the backend choice
+// the paper's Section 2.1 estimator fixes to direct encoding: at small
+// domains DE wins, at large domains and moderate epsilon OUE/OLH win
+// (their variance does not grow with the domain size).
+
+#ifndef MDRR_EVAL_ORACLE_COMPARE_H_
+#define MDRR_EVAL_ORACLE_COMPARE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdrr/common/status_or.h"
+#include "mdrr/core/frequency_oracle.h"
+#include "mdrr/dataset/dataset.h"
+
+namespace mdrr::eval {
+
+struct OracleComparisonOptions {
+  // Per-attribute epsilon every backend spends (equal-budget comparison).
+  double epsilon = 1.0;
+  uint64_t seed = 1;
+  // Backends compared, in report order.
+  std::vector<OracleBackend> backends = {
+      OracleBackend::kDirect, OracleBackend::kOptimizedUnary,
+      OracleBackend::kLocalHashing};
+};
+
+// One backend's row: per-attribute error of the projected estimate
+// against the empirical distribution of the original column.
+struct OracleBackendReport {
+  OracleBackend backend = OracleBackend::kDirect;
+  // Per-attribute total variation distance, max absolute per-category
+  // error, and mean theoretical variance (averaged over categories at
+  // the empirical truth), all in schema order.
+  std::vector<double> marginal_tv;
+  std::vector<double> max_abs_error;
+  std::vector<double> mean_theoretical_variance;
+  // marginal_tv averaged over attributes (the headline number).
+  double mean_tv = 0.0;
+};
+
+struct OracleComparisonReport {
+  double epsilon = 0.0;
+  std::vector<OracleBackendReport> backends;
+
+  // Human-readable table, one row per backend.
+  std::string ToString(const Dataset& dataset) const;
+};
+
+// Builds the report. Randomness is deterministic in (seed, backend
+// order, schema): backend b's attribute j draws from stream
+// b * num_attributes + j of an RngStreamFamily at `seed`, so rows are
+// independent of each other and reproducible one at a time. Fails on an
+// empty dataset, a non-positive epsilon, or an attribute of cardinality
+// < 2.
+StatusOr<OracleComparisonReport> BuildOracleComparisonReport(
+    const Dataset& dataset, const OracleComparisonOptions& options);
+
+}  // namespace mdrr::eval
+
+#endif  // MDRR_EVAL_ORACLE_COMPARE_H_

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/frequency_oracle.h"
 #include "mdrr/core/synthetic.h"
 
 namespace mdrr::release {
@@ -115,6 +117,103 @@ class IndependentMechanism : public Mechanism {
 
   RrIndependentOptions options_;
   const char* name_;
+};
+
+// ---------------------------------------------------------------------------
+// Frequency-oracle backends (spec.frequency_oracle, non-default).
+// ---------------------------------------------------------------------------
+
+// Per-attribute release through a pluggable frequency oracle (DE with an
+// explicit epsilon, SUE, OUE, or OLH). Shares Protocol 1's column loop
+// and randomness addressing: the sharded run goes through the engine's
+// RunOracle (same stream/counter layout as RunIndependent), and the
+// sequential run threads the policy Rng through the attributes in
+// order. Frequency-only backends (sue|oue|olh) publish closed-form
+// marginals with no microdata column; the direct backend also releases
+// the randomized dataset.
+class OracleMechanism : public Mechanism {
+ public:
+  OracleMechanism(const FrequencyOracleSpec& oracle_spec,
+                  const RrIndependentOptions& design)
+      : oracle_spec_(oracle_spec), design_(design) {}
+
+  const char* name() const override { return "frequency-oracle"; }
+
+  StatusOr<MechanismOutput> RunSequential(const Dataset& dataset,
+                                          Rng& rng) const override {
+    return RunWith(dataset, [&rng](const FrequencyOracle& oracle,
+                                   const std::vector<uint32_t>& codes,
+                                   size_t /*column_index*/) {
+      const size_t n = codes.size();
+      OracleColumnResult column;
+      if (oracle.produces_microdata()) column.codes.resize(n);
+      column.counts.assign(oracle.domain_size(), 0);
+      oracle.AccumulateRange(
+          codes, 0, n, rng,
+          oracle.produces_microdata() ? column.codes.data() : nullptr,
+          column.counts.data());
+      column.lambda.assign(oracle.domain_size(), 0.0);
+      if (n > 0) {
+        for (size_t v = 0; v < column.counts.size(); ++v) {
+          column.lambda[v] = static_cast<double>(column.counts[v]) /
+                             static_cast<double>(n);
+        }
+      }
+      return column;
+    });
+  }
+
+  StatusOr<MechanismOutput> RunSharded(
+      const Dataset& dataset,
+      const BatchPerturbationEngine& engine) const override {
+    return RunWith(dataset, [&engine](const FrequencyOracle& oracle,
+                                      const std::vector<uint32_t>& codes,
+                                      size_t column_index) {
+      return engine.RunOracle(oracle, codes, column_index);
+    });
+  }
+
+ private:
+  // The oracle for one attribute of cardinality r. An explicit
+  // frequency_oracle.epsilon applies uniformly to every attribute;
+  // epsilon 0 inherits the per-attribute budget the spec's RR design
+  // would spend at this cardinality (Expression (4) epsilon), so backend
+  // swaps compare at equal epsilon by construction.
+  StatusOr<std::unique_ptr<FrequencyOracle>> MakeOracle(size_t r) const {
+    double epsilon = oracle_spec_.epsilon;
+    if (epsilon == 0.0) {
+      epsilon = MakeIndependentMatrix(r, design_).Epsilon();
+    }
+    return MakeFrequencyOracle(oracle_spec_.backend, r, epsilon);
+  }
+
+  template <typename ColumnRunner>
+  StatusOr<MechanismOutput> RunWith(const Dataset& dataset,
+                                    const ColumnRunner& run_column) const {
+    const size_t m = dataset.num_attributes();
+    const bool microdata = oracle_spec_.backend == OracleBackend::kDirect;
+    MechanismOutput output;
+    output.marginal_estimates.reserve(m);
+    std::vector<std::vector<uint32_t>> columns(microdata ? m : 0);
+    for (size_t j = 0; j < m; ++j) {
+      const size_t r = dataset.attribute(j).cardinality();
+      MDRR_ASSIGN_OR_RETURN(std::unique_ptr<FrequencyOracle> oracle,
+                            MakeOracle(r));
+      OracleColumnResult column = run_column(*oracle, dataset.column(j), j);
+      MDRR_ASSIGN_OR_RETURN(std::vector<double> raw,
+                            oracle->EstimateFromLambda(column.lambda));
+      output.marginal_estimates.push_back(ProjectToSimplex(raw));
+      output.release_epsilon += oracle->epsilon();
+      if (microdata) columns[j] = std::move(column.codes);
+    }
+    if (microdata) {
+      output.randomized = Dataset(dataset.schema(), std::move(columns));
+    }
+    return output;
+  }
+
+  FrequencyOracleSpec oracle_spec_;
+  RrIndependentOptions design_;
 };
 
 // ---------------------------------------------------------------------------
@@ -352,6 +451,18 @@ StatusOr<std::vector<AdjustmentGroup>> Mechanism::AdjustmentGroupsFor(
 }
 
 std::unique_ptr<Mechanism> MakeMechanism(const ReleaseSpec& spec) {
+  if (!spec.frequency_oracle.is_default()) {
+    // ValidateReleaseSpec pins non-default oracle sections to the
+    // per-attribute mechanisms; the design options only matter for the
+    // derived equal-epsilon budget when frequency_oracle.epsilon is 0.
+    RrIndependentOptions design;
+    design.keep_probability = spec.budget.keep_probability;
+    if (spec.mechanism.kind == MechanismKind::kGeometricOrdinal) {
+      design.design = IndependentDesign::kGeometricOrdinal;
+      design.geometric_epsilon = spec.mechanism.geometric_epsilon;
+    }
+    return std::make_unique<OracleMechanism>(spec.frequency_oracle, design);
+  }
   switch (spec.mechanism.kind) {
     case MechanismKind::kIndependent:
       return std::make_unique<IndependentMechanism>(

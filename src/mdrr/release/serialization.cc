@@ -239,6 +239,18 @@ std::string PrintReleaseSpec(const ReleaseSpec& spec) {
   AppendLine(out, "mechanism.geometric_epsilon",
              spec.mechanism.geometric_epsilon);
 
+  // Printed only when non-default so pre-oracle spec files keep their
+  // exact committed text (validation pins the section to its defaults on
+  // every path that cannot serve it, so round-trip equality holds).
+  if (!spec.frequency_oracle.is_default()) {
+    AppendLine(out, "frequency_oracle.backend",
+               std::string(ToString(spec.frequency_oracle.backend)));
+    if (spec.frequency_oracle.epsilon != 0.0) {
+      AppendLine(out, "frequency_oracle.epsilon",
+                 spec.frequency_oracle.epsilon);
+    }
+  }
+
   AppendLine(out, "adjustment.enabled", spec.adjustment.enabled);
   AppendSigned(out, "adjustment.max_iterations",
                spec.adjustment.max_iterations);
@@ -355,6 +367,13 @@ StatusOr<ReleaseSpec> ParseReleaseSpec(const std::string& text) {
                             ParseBool(line));
     } else if (key == "mechanism.geometric_epsilon") {
       MDRR_ASSIGN_OR_RETURN(spec.mechanism.geometric_epsilon,
+                            ParseOneDouble(line));
+    } else if (key == "frequency_oracle.backend") {
+      MDRR_ASSIGN_OR_RETURN(std::string token, ParseOneToken(line));
+      MDRR_ASSIGN_OR_RETURN(spec.frequency_oracle.backend,
+                            OracleBackendFromString(token));
+    } else if (key == "frequency_oracle.epsilon") {
+      MDRR_ASSIGN_OR_RETURN(spec.frequency_oracle.epsilon,
                             ParseOneDouble(line));
     } else if (key == "adjustment.enabled") {
       MDRR_ASSIGN_OR_RETURN(spec.adjustment.enabled, ParseBool(line));

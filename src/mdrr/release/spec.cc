@@ -28,6 +28,10 @@ bool operator==(const MechanismSpec& a, const MechanismSpec& b) {
          a.geometric_epsilon == b.geometric_epsilon;
 }
 
+bool operator==(const FrequencyOracleSpec& a, const FrequencyOracleSpec& b) {
+  return a.backend == b.backend && a.epsilon == b.epsilon;
+}
+
 bool operator==(const AdjustmentSpec& a, const AdjustmentSpec& b) {
   return a.enabled == b.enabled && a.max_iterations == b.max_iterations &&
          a.tolerance == b.tolerance && a.groups == b.groups;
@@ -66,7 +70,9 @@ bool operator==(const OutputSpec& a, const OutputSpec& b) {
 
 bool operator==(const ReleaseSpec& a, const ReleaseSpec& b) {
   return a.dataset == b.dataset && a.budget == b.budget &&
-         a.mechanism == b.mechanism && a.adjustment == b.adjustment &&
+         a.mechanism == b.mechanism &&
+         a.frequency_oracle == b.frequency_oracle &&
+         a.adjustment == b.adjustment &&
          a.synthetic == b.synthetic && a.evaluation == b.evaluation &&
          a.streaming == b.streaming && a.execution == b.execution &&
          a.output == b.output;
@@ -313,6 +319,49 @@ Status ValidateReleaseSpec(const ReleaseSpec& spec, size_t num_attributes) {
     case MechanismKind::kIndependent:
     case MechanismKind::kPram:
       break;
+  }
+
+  // Frequency oracle.
+  if (std::isnan(spec.frequency_oracle.epsilon) ||
+      !std::isfinite(spec.frequency_oracle.epsilon) ||
+      spec.frequency_oracle.epsilon < 0.0) {
+    return Status::InvalidArgument(
+        "frequency_oracle.epsilon must be >= 0 and finite (0 derives the "
+        "per-attribute epsilons from the design)");
+  }
+  if (!spec.frequency_oracle.is_default()) {
+    if (spec.mechanism.kind != MechanismKind::kIndependent &&
+        spec.mechanism.kind != MechanismKind::kGeometricOrdinal) {
+      return Status::InvalidArgument(
+          "frequency_oracle backends apply per attribute; use the "
+          "independent or geometric-ordinal mechanism");
+    }
+    if (spec.streaming.enabled) {
+      return Status::InvalidArgument(
+          "streaming ingest carries per-report RR codes; the oracle "
+          "backend must stay the default RR path");
+    }
+    if (spec.execution.kind == PolicyKind::kDistributed) {
+      return Status::InvalidArgument(
+          "the distributed wire protocol farms out RR shard kernels; "
+          "oracle backends run under the sequential or sharded policy");
+    }
+    if (spec.adjustment.enabled) {
+      return Status::InvalidArgument(
+          "frequency-oracle releases publish closed-form marginals only; "
+          "disable adjustment");
+    }
+    if (spec.synthetic.enabled) {
+      return Status::InvalidArgument(
+          "frequency-oracle releases publish closed-form marginals only; "
+          "disable synthetic output");
+    }
+    if (spec.frequency_oracle.backend != OracleBackend::kDirect &&
+        !spec.output.randomized_csv.empty()) {
+      return Status::InvalidArgument(
+          "frequency-only oracle backends (sue|oue|olh) release no "
+          "microdata; drop output.randomized_csv");
+    }
   }
 
   // Adjustment.

@@ -20,6 +20,7 @@
 
 #include "mdrr/common/status_or.h"
 #include "mdrr/core/clustering.h"
+#include "mdrr/core/frequency_oracle.h"
 #include "mdrr/core/rr_clusters.h"
 #include "mdrr/rng/counter_rng.h"
 
@@ -100,6 +101,32 @@ struct MechanismSpec {
   // kGeometricOrdinal: the per-attribute Expression (4) epsilon of the
   // geometric design. Must be > 0 and finite.
   double geometric_epsilon = 1.0;
+};
+
+// Optional per-attribute frequency-oracle backend selection
+// (core/frequency_oracle.h). The default -- direct encoding with a
+// derived epsilon -- IS the classic RR release path: the section never
+// prints, every pre-oracle spec file keeps parsing, and the transcript
+// stays bit-identical. Any non-default section routes the per-attribute
+// mechanisms (independent, geometric-ordinal) through the oracle seam
+// instead: per attribute, reports accumulate into support counts and the
+// marginals come from the oracle's closed-form inversion. Frequency-only
+// backends (sue, oue, olh) release no microdata, so they exclude
+// adjustment, synthesis, streaming, the distributed policy, and
+// output.randomized_csv.
+struct FrequencyOracleSpec {
+  OracleBackend backend = OracleBackend::kDirect;
+  // Per-attribute epsilon of the oracle design. 0 (default) derives each
+  // attribute's epsilon from the mechanism's own matrix design (the
+  // Expression (4) level of the keep-probability or geometric design) --
+  // the equal-epsilon backend comparison. A positive value replaces the
+  // design with the backend's optimal parameters at exactly this level
+  // for every attribute.
+  double epsilon = 0.0;
+
+  bool is_default() const {
+    return backend == OracleBackend::kDirect && epsilon == 0.0;
+  }
 };
 
 // Optional Algorithm 2 marginal adjustment over the randomized records.
@@ -205,6 +232,7 @@ struct ReleaseSpec {
   DatasetSpec dataset;
   BudgetSpec budget;
   MechanismSpec mechanism;
+  FrequencyOracleSpec frequency_oracle;
   AdjustmentSpec adjustment;
   SyntheticSpec synthetic;
   EvaluationSpec evaluation;
@@ -216,6 +244,7 @@ struct ReleaseSpec {
 bool operator==(const DatasetSpec& a, const DatasetSpec& b);
 bool operator==(const BudgetSpec& a, const BudgetSpec& b);
 bool operator==(const MechanismSpec& a, const MechanismSpec& b);
+bool operator==(const FrequencyOracleSpec& a, const FrequencyOracleSpec& b);
 bool operator==(const AdjustmentSpec& a, const AdjustmentSpec& b);
 bool operator==(const SyntheticSpec& a, const SyntheticSpec& b);
 bool operator==(const EvaluationSpec& a, const EvaluationSpec& b);

@@ -59,6 +59,10 @@ StreamingCollector::StreamingCollector(
                   : spec.streaming.window_size,
               std::max<size_t>(options.ring_buckets, 2),
               std::max<size_t>(options.num_shards, 1)) {
+  oracles_.reserve(matrices_.size());
+  for (const RrMatrix& matrix : matrices_) {
+    oracles_.emplace_back(matrix);
+  }
   const size_t shards = std::max<size_t>(options.num_shards, 1);
   channels_.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
@@ -249,9 +253,12 @@ StatusOr<StreamWindow> StreamingCollector::EmitWindow() {
                   static_cast<double>(reports);
     }
     offset += r;
-    MDRR_ASSIGN_OR_RETURN(std::vector<double> estimate,
-                          EstimateProjectedDistribution(matrices_[j], lambda));
-    window.artifacts.marginal_estimates.push_back(std::move(estimate));
+    // The oracle's closed-form inversion IS the structured Eq. (2)
+    // estimator for RR designs, so this is bit-identical to calling
+    // EstimateProjectedDistribution on matrices_[j].
+    MDRR_ASSIGN_OR_RETURN(std::vector<double> raw,
+                          oracles_[j].EstimateFromLambda(lambda));
+    window.artifacts.marginal_estimates.push_back(ProjectToSimplex(raw));
   }
 
   window.released = true;

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <tuple>
 #include <vector>
 
@@ -44,8 +46,10 @@ TEST(DirectEncodingTest, EstimatesAreUnbiased) {
 }
 
 TEST(DirectEncodingTest, MatchesEquationTwoEstimator) {
-  // The closed-form (lambda - q)/(p - q) must agree with the general
-  // Eq. (2) machinery on the same matrix.
+  // The direct-encoding oracle IS the structured Eq. (2) estimator:
+  // EstimateFromLambda delegates to core/estimator's EstimateDistribution
+  // on the wrapped matrix, so the two must agree bit for bit -- there is
+  // exactly one closed-form RR estimator in the codebase.
   const size_t r = 5;
   const double eps = 1.5;
   DirectEncodingOracle oracle(r, eps);
@@ -60,8 +64,35 @@ TEST(DirectEncodingTest, MatchesEquationTwoEstimator) {
       EstimateDistribution(matrix, EmpiricalDistribution(reports, r));
   ASSERT_TRUE(general.ok());
   for (size_t v = 0; v < r; ++v) {
-    EXPECT_NEAR(fast.value()[v], general.value()[v], 1e-10);
+    EXPECT_EQ(fast.value()[v], general.value()[v]) << "category " << v;
   }
+}
+
+TEST(DirectEncodingTest, AccumulateRangeMatchesPerRecordRandomize) {
+  // The batched entry point must consume draws exactly like a hand
+  // written per-record loop: same Rng seed, same codes, same counts.
+  const size_t r = 7;
+  const double eps = 1.2;
+  DirectEncodingOracle oracle(r, eps);
+  Rng loop_rng(91);
+  std::vector<uint32_t> input(4096);
+  for (auto& x : input) x = static_cast<uint32_t>(loop_rng.UniformInt(r));
+
+  Rng a(17);
+  std::vector<uint32_t> expected(input.size());
+  std::vector<int64_t> expected_counts(r, 0);
+  for (size_t i = 0; i < input.size(); ++i) {
+    expected[i] = oracle.Randomize(input[i], a);
+    ++expected_counts[expected[i]];
+  }
+
+  Rng b(17);
+  std::vector<uint32_t> batched(input.size());
+  std::vector<int64_t> batched_counts(r, 0);
+  oracle.AccumulateRange(input, 0, input.size(), b, batched.data(),
+                         batched_counts.data());
+  EXPECT_EQ(expected, batched);
+  EXPECT_EQ(expected_counts, batched_counts);
 }
 
 TEST(DirectEncodingTest, RejectsEmptyReports) {
@@ -157,6 +188,102 @@ TEST(UnaryEncodingTest, InputValidation) {
   EXPECT_FALSE(oracle.EstimateFromReports({{1, 0}}).ok());
 }
 
+TEST(LocalHashingTest, BucketCountTracksEpsilon) {
+  // g = floor(e^eps) + 1, clamped to [2, 2^20].
+  EXPECT_EQ(LocalHashingOracle(16, 0.5).num_buckets(), 2u);
+  EXPECT_EQ(LocalHashingOracle(16, 1.0).num_buckets(), 3u);
+  EXPECT_EQ(LocalHashingOracle(16, 2.0).num_buckets(), 8u);
+  EXPECT_EQ(LocalHashingOracle(16, 100.0).num_buckets(), 1u << 20);
+}
+
+TEST(LocalHashingTest, HashBucketIsDeterministicAndInRange) {
+  const size_t g = 8;
+  for (uint64_t seed : {0ull, 1ull, 0xdeadbeefull}) {
+    for (uint32_t v = 0; v < 64; ++v) {
+      uint32_t bucket = LocalHashingOracle::HashBucket(seed, v, g);
+      EXPECT_LT(bucket, g);
+      EXPECT_EQ(bucket, LocalHashingOracle::HashBucket(seed, v, g));
+    }
+  }
+}
+
+class LocalHashingSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double, int>> {};
+
+// Property: OLH support-count estimates converge to the true
+// distribution, with per-category error within a few theoretical
+// standard deviations, for every (domain size, epsilon, n).
+TEST_P(LocalHashingSweep, EstimatesAreUnbiasedWithinTheoreticalVariance) {
+  auto [r, eps, n] = GetParam();
+  LocalHashingOracle oracle(r, eps);
+  std::vector<double> pi = TestDistribution(r, r * 13 + 1);
+
+  Rng rng(r * 101 + static_cast<uint64_t>(eps * 10) + n);
+  std::vector<uint32_t> truths(n);
+  for (auto& x : truths) x = static_cast<uint32_t>(rng.Discrete(pi));
+  std::vector<int64_t> counts(r, 0);
+  oracle.AccumulateRange(truths, 0, truths.size(), rng, /*out=*/nullptr,
+                         counts.data());
+  auto estimates = oracle.EstimateFrequencies(counts, n);
+  ASSERT_TRUE(estimates.ok());
+  for (size_t v = 0; v < r; ++v) {
+    const double sigma = std::sqrt(oracle.TheoreticalVariance(pi[v], n));
+    EXPECT_NEAR(estimates.value()[v], pi[v], 5.0 * sigma + 1e-9)
+        << "r=" << r << " eps=" << eps << " n=" << n << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsEpsilonsSamples, LocalHashingSweep,
+    ::testing::Combine(::testing::Values<size_t>(4, 16, 64),
+                       ::testing::Values(1.0, 3.0),
+                       ::testing::Values(60000, 150000)));
+
+TEST(LocalHashingTest, CounterPathIsShardInvariant) {
+  // Philox element addressing: counts from one [0, n) sweep must equal
+  // counts accumulated over any tiling of the same range, because each
+  // record's two elements are addressed by record index, not by
+  // consumption order.
+  const size_t r = 12;
+  LocalHashingOracle oracle(r, 2.0);
+  Rng rng(7);
+  std::vector<uint32_t> truths(5000);
+  for (auto& x : truths) x = static_cast<uint32_t>(rng.UniformInt(r));
+
+  std::vector<int64_t> whole(r, 0);
+  oracle.AccumulateRangeCounter(truths, 0, truths.size(), /*seed=*/99,
+                                /*stream=*/3, /*out=*/nullptr, whole.data());
+  std::vector<int64_t> tiled(r, 0);
+  for (size_t begin = 0; begin < truths.size(); begin += 317) {
+    const size_t end = std::min(truths.size(), begin + 317);
+    oracle.AccumulateRangeCounter(truths, begin, end, /*seed=*/99,
+                                  /*stream=*/3, /*out=*/nullptr,
+                                  tiled.data());
+  }
+  EXPECT_EQ(whole, tiled);
+}
+
+TEST(LocalHashingTest, CounterPathEstimatesAreUnbiased) {
+  const size_t r = 16;
+  const double eps = 2.0;
+  const int n = 120000;
+  LocalHashingOracle oracle(r, eps);
+  std::vector<double> pi = TestDistribution(r, 29);
+  Rng rng(31);
+  std::vector<uint32_t> truths(n);
+  for (auto& x : truths) x = static_cast<uint32_t>(rng.Discrete(pi));
+
+  std::vector<int64_t> counts(r, 0);
+  oracle.AccumulateRangeCounter(truths, 0, truths.size(), /*seed=*/5,
+                                /*stream=*/1, /*out=*/nullptr, counts.data());
+  auto estimates = oracle.EstimateFrequencies(counts, n);
+  ASSERT_TRUE(estimates.ok());
+  for (size_t v = 0; v < r; ++v) {
+    const double sigma = std::sqrt(oracle.TheoreticalVariance(pi[v], n));
+    EXPECT_NEAR(estimates.value()[v], pi[v], 5.0 * sigma + 1e-9) << v;
+  }
+}
+
 TEST(OracleComparisonTest, VarianceCrossoverInDomainSize) {
   // The classic Wang et al. result: DE beats OUE for small r (at fixed
   // eps, roughly r < 3 e^eps + 2), OUE wins for large r because its
@@ -185,6 +312,42 @@ TEST(OracleComparisonTest, OueBeatsSueAtEqualEpsilon) {
   UnaryEncodingOracle oue(32, eps, UnaryEncodingOracle::Variant::kOptimized);
   EXPECT_LT(oue.TheoreticalVariance(0.05, n),
             sue.TheoreticalVariance(0.05, n));
+}
+
+TEST(OracleComparisonTest, OlhBeatsDirectEncodingAtLargeDomains) {
+  // OLH's variance is independent of r (like OUE), so it must win over
+  // DE once the domain outgrows the epsilon budget.
+  const double eps = 1.0;
+  const int64_t n = 10000;
+  DirectEncodingOracle de(256, eps);
+  LocalHashingOracle olh(256, eps);
+  EXPECT_LT(olh.TheoreticalVariance(0.05, n),
+            de.TheoreticalVariance(0.05, n));
+}
+
+TEST(OracleFactoryTest, BuildsEveryBackend) {
+  for (OracleBackend backend :
+       {OracleBackend::kDirect, OracleBackend::kSymmetricUnary,
+        OracleBackend::kOptimizedUnary, OracleBackend::kLocalHashing}) {
+    auto oracle = MakeFrequencyOracle(backend, 8, 1.5);
+    ASSERT_TRUE(oracle.ok()) << ToString(backend);
+    EXPECT_EQ(oracle.value()->backend(), backend);
+    EXPECT_EQ(oracle.value()->domain_size(), 8u);
+    EXPECT_EQ(oracle.value()->produces_microdata(),
+              backend == OracleBackend::kDirect);
+    // Round trip through the spec token.
+    auto parsed = OracleBackendFromString(ToString(backend));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), backend);
+  }
+}
+
+TEST(OracleFactoryTest, RejectsBadArguments) {
+  EXPECT_FALSE(MakeFrequencyOracle(OracleBackend::kDirect, 1, 1.0).ok());
+  EXPECT_FALSE(MakeFrequencyOracle(OracleBackend::kLocalHashing, 8, 0.0).ok());
+  EXPECT_FALSE(
+      MakeFrequencyOracle(OracleBackend::kOptimizedUnary, 8, -1.0).ok());
+  EXPECT_FALSE(OracleBackendFromString("rappor").ok());
 }
 
 TEST(OracleComparisonTest, TheoreticalVarianceMatchesEmpirical) {

@@ -264,6 +264,41 @@ TEST(FuzzReleaseSpec, ContradictorySpecsAreRejected) {
     spec.synthetic.records = -5;
     bad.push_back(spec);
   }
+  {  // Contradictory frequency_oracle sections: per-attribute backends
+     // never combine with joint/clusters/pram mechanisms, streaming,
+     // the distributed policy, adjustment, synthesis, microdata output,
+     // or a malformed epsilon.
+    release::ReleaseSpec spec;
+    spec.mechanism.kind = release::MechanismKind::kIndependent;
+    spec.frequency_oracle.backend = OracleBackend::kOptimizedUnary;
+    spec.frequency_oracle.epsilon = -2.0;
+    bad.push_back(spec);
+    spec.frequency_oracle.epsilon = std::nan("");
+    bad.push_back(spec);
+    spec.frequency_oracle.epsilon = 1.0;
+    spec.mechanism.kind = release::MechanismKind::kPram;
+    bad.push_back(spec);
+    spec.mechanism.kind = release::MechanismKind::kClusters;
+    bad.push_back(spec);
+    spec.mechanism.kind = release::MechanismKind::kJoint;
+    spec.mechanism.joint_attributes = {0};
+    bad.push_back(spec);
+    spec.mechanism.joint_attributes.clear();
+    spec.mechanism.kind = release::MechanismKind::kIndependent;
+    spec.adjustment.enabled = true;
+    bad.push_back(spec);
+    spec.adjustment.enabled = false;
+    spec.synthetic.enabled = true;
+    bad.push_back(spec);
+    spec.synthetic.enabled = false;
+    spec.frequency_oracle.backend = OracleBackend::kLocalHashing;
+    spec.output.randomized_csv = "/tmp/y.csv";  // No microdata to write.
+    bad.push_back(spec);
+    spec.output.randomized_csv.clear();
+    spec.execution.kind = release::PolicyKind::kDistributed;
+    spec.execution.num_workers = 1;
+    bad.push_back(spec);
+  }
   {  // Execution / dataset / output contradictions.
     release::ReleaseSpec spec;
     spec.execution.shard_size = 0;
@@ -328,14 +363,19 @@ TEST(FuzzReleaseSpec, ContradictorySpecsAreRejected) {
 }
 
 // Random mutations of a printed spec: the parser and validator must
-// return a status (any status) without crashing.
+// return a status (any status) without crashing. The seed text carries a
+// non-default frequency_oracle section so its keys and tokens are in the
+// mutation alphabet.
 TEST(FuzzReleaseSpec, MutatedSpecTextNeverCrashes) {
   release::ReleaseSpec spec;
   spec.mechanism.kind = release::MechanismKind::kJoint;
   spec.mechanism.joint_attributes = {0, 1};
   spec.adjustment.groups = {{0}, {1, 2}};
   spec.adjustment.enabled = true;
+  spec.frequency_oracle.backend = OracleBackend::kLocalHashing;
+  spec.frequency_oracle.epsilon = 1.25;
   const std::string text = release::PrintReleaseSpec(spec);
+  ASSERT_NE(text.find("frequency_oracle.backend olh"), std::string::npos);
 
   Rng rng(2026);
   const char garbage[] = "#\n \t-eXz0987.,;inf nan 1e999";
@@ -519,6 +559,18 @@ TEST_P(FuzzReleasePlan, ValidSpecsAlwaysExecute) {
     spec.execution.shard_size = 64 + rng.UniformInt(2000);
   }
   spec.execution.seed = seed;
+
+  // A non-default frequency-oracle backend rides along when nothing it
+  // forbids is enabled. Epsilon 0 inherits the design's per-attribute
+  // budget, so the total spend matches the plain independent release.
+  if (spec.mechanism.kind == release::MechanismKind::kIndependent &&
+      !spec.adjustment.enabled && !spec.synthetic.enabled &&
+      rng.Bernoulli(0.5)) {
+    const OracleBackend backends[] = {OracleBackend::kSymmetricUnary,
+                                      OracleBackend::kOptimizedUnary,
+                                      OracleBackend::kLocalHashing};
+    spec.frequency_oracle.backend = backends[rng.UniformInt(3)];
+  }
 
   auto plan = release::ReleasePlanner::Plan(spec, &ds);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();

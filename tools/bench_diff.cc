@@ -21,7 +21,10 @@
 // Column semantics are per-stage: most stages use t1/tN as 1-thread vs
 // N-thread wall times, but the rng-policy stage uses them as the two
 // RNG policies at the same thread count (t1 = mt19937, tN = philox),
-// and release-distributed uses t1 = the in-process sharded engine at
+// the oracle-backends stage uses them as two frequency-oracle encodings
+// at the same thread count and epsilon (t1 = direct encoding, tN =
+// local hashing; its "speedup" is DE's throughput edge over OLH), and
+// release-distributed uses t1 = the in-process sharded engine at
 // --threads vs tN = the same workload farmed over loopback TCP to 2
 // worker endpoints (its "speedup" is the transport overhead ratio).
 // The delta logic below is agnostic -- a slower current t1 or tN is a

@@ -16,7 +16,16 @@
 //         [--budget=EPS] [--adjust] [--adjust_iters=100]
 //         [--randomized_out=y.csv] [--synthetic_out=s.csv] [--report]
 //         [--artifacts_out=a.txt] [--seed=1] [--threads=N] [--shard=S]
-//         [--rng=mt19937|philox]
+//         [--rng=mt19937|philox] [--oracle=de|sue|oue|olh]
+//         [--oracle_epsilon=EPS]
+//
+//       --oracle selects the per-attribute frequency-oracle backend
+//       (independent and geometric-ordinal methods only). The default
+//       keeps the paper's direct-encoding RR path byte-for-byte;
+//       sue/oue/olh publish closed-form marginals with no microdata.
+//       --oracle_epsilon spends that epsilon per attribute (0 inherits
+//       the per-attribute budget of the method's RR design, so backend
+//       swaps compare at equal epsilon).
 //       spec mode:
 //         --spec=release.spec     (a serialized ReleaseSpec; all other
 //                                  release flags are ignored)
@@ -51,17 +60,32 @@
 //       (or normalizes --spec) and exits without running -- the
 //       migration aid from flag soup to spec files.
 //
+//   mdrr_cli sweep --specs=DIR
+//       Run every release spec file in DIR (sorted by name) and emit one
+//       combined utility/risk table: per spec, the mechanism, the
+//       epsilon actually spent, and the mean/max per-attribute total
+//       variation distance of the released marginal estimates against
+//       the original data. Streaming specs replay through the windowed
+//       collector and report their ledger. A spec that fails to parse,
+//       validate, or run becomes an error row (exit status 1) without
+//       stopping the sweep.
+//
 //   mdrr_cli risk --r=4 [--p=0.7] [--prior=0.4,0.3,0.2,0.1]
 //       Disclosure-risk analysis of a KeepUniform design: epsilon,
 //       posterior best-guess confidences, expected attacker success.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "mdrr/common/flags.h"
 #include "mdrr/common/string_util.h"
 #include "mdrr/core/clustering.h"
+#include "mdrr/core/estimator.h"
+#include "mdrr/core/frequency_oracle.h"
 #include "mdrr/core/privacy.h"
 #include "mdrr/core/risk.h"
 #include "mdrr/core/rr_matrix.h"
@@ -188,6 +212,18 @@ StatusOr<mdrr::release::ReleaseSpec> SpecFromFlags(const FlagSet& flags) {
       spec.execution.rng,
       release::RngKindFromString(flags.GetString("rng", "mt19937")));
 
+  // The frequency-oracle backend. `--oracle=de` alone is the default
+  // section (direct encoding at the design's own budget), so pre-oracle
+  // command lines keep their exact transcripts.
+  if (flags.Has("oracle")) {
+    MDRR_ASSIGN_OR_RETURN(
+        spec.frequency_oracle.backend,
+        mdrr::OracleBackendFromString(flags.GetString("oracle", "de")));
+  }
+  if (flags.Has("oracle_epsilon")) {
+    spec.frequency_oracle.epsilon = flags.GetDouble("oracle_epsilon", 0.0);
+  }
+
   spec.output.randomized_csv = flags.GetString("randomized_out", "");
   spec.output.synthetic_csv = flags.GetString("synthetic_out", "");
   spec.output.artifacts_path = flags.GetString("artifacts_out", "");
@@ -291,7 +327,11 @@ int CmdRun(const FlagSet& flags) {
                 mdrr::ClusteringToString(a.randomized, a.clustering).c_str());
   }
   std::printf("estimated marginal distributions:\n");
-  PrintMarginals(a.randomized, a.marginal_estimates);
+  // Frequency-only oracle backends (sue|oue|olh) release no microdata,
+  // so the schema for labeling comes from the input dataset instead.
+  PrintMarginals(a.randomized.num_attributes() > 0 ? a.randomized
+                                                   : plan.value().dataset(),
+                 a.marginal_estimates);
 
   mdrr::PrivacyAccountant accountant;
   if (a.dependence_epsilon > 0) {
@@ -331,6 +371,149 @@ int CmdRun(const FlagSet& flags) {
                 spec.output.artifacts_path.c_str());
   }
   return 0;
+}
+
+// Mean and max per-attribute total variation distance between released
+// marginal estimates and the empirical marginals of `original`.
+void MarginalTvStats(const Dataset& original,
+                     const std::vector<std::vector<double>>& estimates,
+                     double* mean_tv, double* max_tv) {
+  *mean_tv = 0.0;
+  *max_tv = 0.0;
+  const size_t m = std::min(original.num_attributes(), estimates.size());
+  for (size_t j = 0; j < m; ++j) {
+    const std::vector<double> truth = mdrr::EmpiricalDistribution(
+        original.column(j), original.attribute(j).cardinality());
+    double tv = 0.0;
+    for (size_t v = 0; v < truth.size() && v < estimates[j].size(); ++v) {
+      tv += std::abs(estimates[j][v] - truth[v]);
+    }
+    tv *= 0.5;
+    *mean_tv += tv;
+    *max_tv = std::max(*max_tv, tv);
+  }
+  if (m > 0) *mean_tv /= static_cast<double>(m);
+}
+
+// Runs every spec file in --specs=DIR and prints one combined
+// utility/risk table. Failures become error rows; the sweep continues.
+int CmdSweep(const FlagSet& flags) {
+  namespace fs = std::filesystem;
+  namespace release = mdrr::release;
+  const std::string dir = flags.GetString("specs", "");
+  if (dir.empty()) {
+    return Fail(Status::InvalidArgument("--specs=DIR is required"));
+  }
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file()) files.push_back(it->path());
+  }
+  if (ec) {
+    return Fail(Status::InvalidArgument("cannot read --specs directory '" +
+                                        dir + "': " + ec.message()));
+  }
+  if (files.empty()) {
+    return Fail(Status::InvalidArgument("no spec files in '" + dir + "'"));
+  }
+  std::sort(files.begin(), files.end());
+
+  std::printf("%-28s %-24s %10s %10s %10s\n", "spec", "mechanism", "epsilon",
+              "mean_tv", "max_tv");
+  int failures = 0;
+  for (const fs::path& path : files) {
+    const std::string name = path.filename().string();
+    auto report_error = [&](const Status& status) {
+      std::printf("%-28s error: %s\n", name.c_str(),
+                  status.ToString().c_str());
+      ++failures;
+    };
+
+    auto parsed = release::ReadReleaseSpec(path.string());
+    if (!parsed.ok()) {
+      report_error(parsed.status());
+      continue;
+    }
+    release::ReleaseSpec spec = std::move(parsed).value();
+
+    if (spec.streaming.enabled) {
+      auto dataset = [&]() -> StatusOr<Dataset> {
+        switch (spec.dataset.source) {
+          case release::DatasetSpec::Source::kCsvFile:
+            return mdrr::ReadCsvDataset(spec.dataset.csv_path,
+                                        spec.dataset.csv_has_header);
+          case release::DatasetSpec::Source::kSyntheticAdult:
+            return mdrr::SynthesizeAdult(spec.dataset.synthetic_records,
+                                         spec.dataset.synthetic_seed);
+          case release::DatasetSpec::Source::kProvided:
+            return Status::InvalidArgument(
+                "streaming sweep entries need an owned dataset source");
+        }
+        return Status::Internal("unknown dataset source");
+      }();
+      if (!dataset.ok()) {
+        report_error(dataset.status());
+        continue;
+      }
+      auto run = mdrr::protocol::RunStreamingReplay(
+          spec, dataset.value(), mdrr::protocol::StreamingReplayOptions{});
+      if (!run.ok()) {
+        report_error(run.status());
+        continue;
+      }
+      // Coarse utility: each released window estimates its own slice of
+      // the stream, compared here against the full-stream marginals.
+      double mean_tv = 0.0;
+      double max_tv = 0.0;
+      size_t released = 0;
+      for (const release::StreamWindow& window : run.value().windows) {
+        if (!window.released) continue;
+        double window_mean = 0.0;
+        double window_max = 0.0;
+        MarginalTvStats(dataset.value(),
+                        window.artifacts.marginal_estimates, &window_mean,
+                        &window_max);
+        mean_tv += window_mean;
+        max_tv = std::max(max_tv, window_max);
+        ++released;
+      }
+      if (released > 0) mean_tv /= static_cast<double>(released);
+      std::printf("%-28s %-24s %10.4f %10.4f %10.4f\n", name.c_str(),
+                  "streaming", run.value().epsilon_spent, mean_tv, max_tv);
+      continue;
+    }
+
+    auto plan = release::ReleasePlanner::Plan(spec);
+    if (!plan.ok()) {
+      report_error(plan.status());
+      continue;
+    }
+    auto artifacts = plan.value().Run();
+    if (!artifacts.ok()) {
+      report_error(artifacts.status());
+      continue;
+    }
+    const release::ReleaseArtifacts& a = artifacts.value();
+    // Joint releases publish a sub-schema; project the truth onto the
+    // attributes the mechanism actually released.
+    const Dataset original =
+        a.joint.has_value()
+            ? plan.value().dataset().Project(a.joint->attributes)
+            : plan.value().dataset();
+    double mean_tv = 0.0;
+    double max_tv = 0.0;
+    MarginalTvStats(original, a.marginal_estimates, &mean_tv, &max_tv);
+    std::string mechanism = release::ToString(spec.mechanism.kind);
+    if (!spec.frequency_oracle.is_default()) {
+      mechanism += std::string("+") +
+                   mdrr::ToString(spec.frequency_oracle.backend);
+    }
+    std::printf("%-28s %-24s %10.4f %10.4f %10.4f\n", name.c_str(),
+                mechanism.c_str(),
+                a.release_epsilon + a.dependence_epsilon, mean_tv, max_tv);
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int CmdRisk(const FlagSet& flags) {
@@ -380,7 +563,7 @@ int CmdRisk(const FlagSet& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mdrr_cli <schema|run|risk> [--flags]\n"
+                 "usage: mdrr_cli <schema|run|sweep|risk> [--flags]\n"
                  "see the header of tools/mdrr_cli.cc for details\n");
     return 1;
   }
@@ -389,6 +572,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   if (command == "schema") return CmdSchema(flags);
   if (command == "run") return CmdRun(flags);
+  if (command == "sweep") return CmdSweep(flags);
   if (command == "risk") return CmdRisk(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
