@@ -58,6 +58,7 @@
 #include "mdrr/core/adjustment.h"
 #include "mdrr/core/batch_engine.h"
 #include "mdrr/core/dependence.h"
+#include "mdrr/core/dependence_estimators.h"
 #include "mdrr/core/estimator.h"
 #include "mdrr/core/rr_matrix.h"
 #include "mdrr/core/synthetic.h"
@@ -292,6 +293,68 @@ int main(int argc, char** argv) {
   double dependence_tn = timer.Seconds();
   stages.push_back({"dependence-assess", dependence_t1, dependence_tn,
                     SameMatrix(deps_one, deps_many)});
+  PrintStage(stages.back());
+
+  // --- Privacy-preserving dependence estimators (Sections 4.2/4.3):
+  // stream-per-pair secure sums + pairwise-RR masking, the last
+  // previously-sequential stages. t1/tN time the mt19937 pairwise-RR
+  // estimator at 1 vs --threads workers; the identical bit asserts the
+  // full addressing contract on every run -- both estimators bit-equal
+  // across thread counts under both RNG policies, philox additionally
+  // across shard grains, and the two policies producing distinct
+  // pairwise-RR transcripts. ---
+  const uint64_t dep_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  auto estimator_options = [&](mdrr::RngKind rng_kind, size_t est_threads,
+                               size_t grain) {
+    mdrr::DependenceEstimatorOptions options;
+    options.rng = rng_kind;
+    options.sharding.num_threads = est_threads;
+    options.sharding.record_chunk_size = grain;
+    return options;
+  };
+  const size_t dep_grain = single.options().shard_size;
+  timer.Restart();
+  auto pairwise_one = mdrr::PairwiseRrDependences(
+      data, p, mdrr::mpc::SimulationMode::kFastSimulation, dep_seed,
+      estimator_options(mdrr::RngKind::kMt19937, 1, dep_grain));
+  double pairwise_t1 = timer.Seconds();
+  timer.Restart();
+  auto pairwise_many = mdrr::PairwiseRrDependences(
+      data, p, mdrr::mpc::SimulationMode::kFastSimulation, dep_seed,
+      estimator_options(mdrr::RngKind::kMt19937, threads, dep_grain));
+  double pairwise_tn = timer.Seconds();
+  auto pairwise_philox_one = mdrr::PairwiseRrDependences(
+      data, p, mdrr::mpc::SimulationMode::kFastSimulation, dep_seed,
+      estimator_options(mdrr::RngKind::kPhilox, 1, dep_grain));
+  auto pairwise_philox_many = mdrr::PairwiseRrDependences(
+      data, p, mdrr::mpc::SimulationMode::kFastSimulation, dep_seed,
+      estimator_options(mdrr::RngKind::kPhilox, threads,
+                        dep_grain / 2 + 1));
+  auto secure_one = mdrr::SecureSumDependences(
+      data, mdrr::mpc::SimulationMode::kFastSimulation, dep_seed,
+      estimator_options(mdrr::RngKind::kMt19937, 1, dep_grain));
+  auto secure_many = mdrr::SecureSumDependences(
+      data, mdrr::mpc::SimulationMode::kFastSimulation, dep_seed,
+      estimator_options(mdrr::RngKind::kPhilox, threads, dep_grain));
+  if (!pairwise_one.ok() || !pairwise_many.ok() ||
+      !pairwise_philox_one.ok() || !pairwise_philox_many.ok() ||
+      !secure_one.ok() || !secure_many.ok()) {
+    std::fprintf(stderr, "dependence estimators failed\n");
+    return 1;
+  }
+  bool pairwise_same =
+      SameMatrix(pairwise_one.value().dependences,
+                 pairwise_many.value().dependences) &&
+      SameMatrix(pairwise_philox_one.value().dependences,
+                 pairwise_philox_many.value().dependences) &&
+      !SameMatrix(pairwise_one.value().dependences,
+                  pairwise_philox_one.value().dependences) &&
+      // The secure sums are exact, so every policy and schedule must
+      // agree bit for bit.
+      SameMatrix(secure_one.value().dependences,
+                 secure_many.value().dependences);
+  stages.push_back({"dependence-pairwise", pairwise_t1, pairwise_tn,
+                    pairwise_same});
   PrintStage(stages.back());
 
   // --- RR-Clusters (assessment + clustering + joint perturbation). ---

@@ -138,18 +138,42 @@ StatusOr<AdjustmentResult> RunRrAdjustment(
         // convergence test and next iteration's first group both read
         // from this single scan.
         all_groups.Reset();
-        ParallelChunks(n, chunk_size, options.num_threads,
-                       [&](size_t /*worker*/, size_t chunk, size_t begin,
-                           size_t end) {
-                         double* row = all_groups.Row(chunk);
-                         for (size_t i = begin; i < end; ++i) {
-                           double w = weights[i] * ratio[codes_g[i]];
-                           weights[i] = w;
-                           for (size_t h = 0; h < num_groups; ++h) {
-                             row[group_offset[h] + groups[h].codes[i]] += w;
+        if (num_groups == 1) {
+          // One group means offset 0 and codes_g is the only code vector:
+          // the h-loop collapses to a single flat accumulate (same
+          // additions in the same order, just without the indirection).
+          ParallelChunks(n, chunk_size, options.num_threads,
+                         [&](size_t /*worker*/, size_t chunk, size_t begin,
+                             size_t end) {
+                           double* row = all_groups.Row(chunk);
+                           for (size_t i = begin; i < end; ++i) {
+                             double w = weights[i] * ratio[codes_g[i]];
+                             weights[i] = w;
+                             row[codes_g[i]] += w;
                            }
-                         }
-                       });
+                         });
+        } else {
+          // Hoist each group's code pointer + flattened base offset out
+          // of the record loop; the inner loop then runs on two flat
+          // arrays instead of chasing groups[h] members per record.
+          std::vector<const uint32_t*> scan_codes(num_groups);
+          for (size_t h = 0; h < num_groups; ++h) {
+            scan_codes[h] = groups[h].codes.data();
+          }
+          const size_t* offsets = group_offset.data();
+          ParallelChunks(n, chunk_size, options.num_threads,
+                         [&](size_t /*worker*/, size_t chunk, size_t begin,
+                             size_t end) {
+                           double* row = all_groups.Row(chunk);
+                           for (size_t i = begin; i < end; ++i) {
+                             double w = weights[i] * ratio[codes_g[i]];
+                             weights[i] = w;
+                             for (size_t h = 0; h < num_groups; ++h) {
+                               row[offsets[h] + scan_codes[h][i]] += w;
+                             }
+                           }
+                         });
+        }
         all_groups.ReduceInto(all_implied.data());
       }
     }

@@ -195,9 +195,10 @@ StatusOr<RrClustersResult> BatchPerturbationEngine::RunClusters(
   const size_t num_shards = NumShards(dataset.num_rows());
   RngStreamFamily family(options_.seed);
   Rng serial_rng = family.Stream(0);
-  DependenceShardingOptions assessment;
-  assessment.num_threads = options_.num_threads;
-  assessment.record_chunk_size = options_.shard_size;
+  DependenceEstimatorOptions assessment;
+  assessment.rng = options_.rng;
+  assessment.sharding.num_threads = options_.num_threads;
+  assessment.sharding.record_chunk_size = options_.shard_size;
   return RunRrClustersWith(
       dataset, options, serial_rng,
       [this, &dataset, &family, num_shards](

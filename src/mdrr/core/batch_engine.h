@@ -123,11 +123,12 @@ class BatchPerturbationEngine {
   // statistically but not bit-for-bit (different RNG streams, and the
   // Corollary 1 ordinal-ordinal |Pearson| is evaluated from joint counts
   // rather than raw columns -- see DependenceMatrixSharded). The
-  // dependence-assessment round's randomness is sequential (it is one
-  // privacy-budgeted interaction on stream 0), but its pairwise
-  // statistics shard across the pair grid and record ranges
-  // (AssessDependencesSharded); the per-cluster joint randomization is
-  // sharded as before.
+  // dependence-assessment round is seeded from stream 0 (one engine word
+  // per source) and runs through AssessDependencesSharded with the
+  // engine's RNG policy: every estimator shards its pair grid on
+  // stream-per-pair draws, and under kPhilox record ranges shard too --
+  // bit-identical at any thread count and shard grain either way. The
+  // per-cluster joint randomization is sharded as before.
   StatusOr<RrClustersResult> RunClusters(
       const Dataset& dataset, const RrClustersOptions& options) const;
 

@@ -13,6 +13,7 @@
 #include "mdrr/dataset/dataset.h"
 #include "mdrr/linalg/matrix.h"
 #include "mdrr/mpc/secure_sum.h"
+#include "mdrr/rng/counter_rng.h"
 
 namespace mdrr {
 
@@ -22,8 +23,31 @@ struct DependenceEstimate {
   // method releases exact values, so its epsilon is infinity).
   double epsilon = 0.0;
   // Point-to-point messages exchanged (communication-cost bookkeeping of
-  // Sections 4.1-4.3).
+  // Sections 4.1-4.3). Saturates at UINT64_MAX on wide product domains
+  // instead of wrapping.
   uint64_t messages = 0;
+};
+
+// Sharding + randomness addressing for the assessment estimators.
+//
+// Every estimator draw is keyed by (stream, element), never by
+// consumption order:
+//   * pair p of the row-major upper-triangle grid (i < j) owns stream
+//     1 + p -- masking draws on RngStreamFamily(seed) / counter stream
+//     1 + p of `seed`, secure-sum share draws on the same stream index
+//     of the oracle's salted seed;
+//   * the Section 4.1 round-1 publication gives attribute j stream 1 + j
+//     (stream 0 stays reserved, mirroring the batch engine's layout).
+// Under kMt19937 a stream is sequential (drawn start to finish by one
+// worker), so only the pair/attribute grid shards and the transcript is
+// thread-count invariant. Under kPhilox the element is the record index
+// (RandomizeRangeCounterInto) or the protocol word offset
+// (SecureSumSession::WordsPerLiteralRun), so record ranges shard too and
+// the transcript is invariant to thread count AND chunk grain by
+// construction.
+struct DependenceEstimatorOptions {
+  RngKind rng = RngKind::kMt19937;
+  DependenceShardingOptions sharding;
 };
 
 // Baseline: a trusted party computes dependences on the true data.
@@ -45,16 +69,20 @@ DependenceEstimate RandomizedResponseDependences(const Dataset& dataset,
                                                  double keep_probability,
                                                  uint64_t seed);
 
-// Sharded Section 4.1 assessment. The per-attribute randomization stays
-// on one sequential stream (it is one privacy-budgeted publication whose
-// transcript must not depend on the worker count); the pairwise
-// statistics over the randomized data are sharded. Bit-identical for any
-// thread count at a fixed seed.
-//
-// The Section 4.2/4.3 estimators (SecureSumDependences,
-// PairwiseRrDependences) have no sharded form: their per-pair protocol
-// runs draw from one shared RNG in pair order, so the message transcript
-// itself is sequential.
+// Sharded Section 4.1 assessment. Under kMt19937 the publication replays
+// the sequential single-stream transcript of
+// RandomizedResponseDependences (it is one privacy-budgeted publication
+// whose draws must not depend on the worker count) and only the pairwise
+// statistics shard. Under kPhilox attribute j's column is drawn from
+// counter stream 1 + j with element = record index, so the publication
+// itself shards over record ranges and stays bit-identical at every
+// thread count and shard grain by construction.
+DependenceEstimate RandomizedResponseDependencesSharded(
+    const Dataset& dataset, double keep_probability, uint64_t seed,
+    const DependenceEstimatorOptions& options);
+
+// Back-compat form: mt19937 publication + sharded statistics (exactly
+// the historical transcript).
 DependenceEstimate RandomizedResponseDependencesSharded(
     const Dataset& dataset, double keep_probability, uint64_t seed,
     const DependenceShardingOptions& sharding);
@@ -62,6 +90,20 @@ DependenceEstimate RandomizedResponseDependencesSharded(
 // Section 4.2: exact bivariate distributions through the secure-sum
 // protocol; no masking, so no differential privacy (epsilon = +inf) but
 // unlinkability of pairs. `mode` selects literal vs fast simulation.
+//
+// Pair p's share draws live on stream 1 + p of the oracle (see
+// DependenceEstimatorOptions), so the pair grid shards: when the grid
+// can feed every worker each pair runs serially on its own stream, and
+// otherwise (few pairs, many records) fast-simulation pairs shard their
+// record scan -- the secure sums are exact, so the sharded histogram IS
+// the protocol output -- while literal pairs stay serial (the share
+// exchange transcript is per pair). Output is bit-identical at every
+// thread count and shard grain under both RNG policies.
+StatusOr<DependenceEstimate> SecureSumDependences(
+    const Dataset& dataset, mpc::SimulationMode mode, uint64_t seed,
+    const DependenceEstimatorOptions& options);
+
+// Sequential back-compat form (options = one worker, mt19937 shares).
 StatusOr<DependenceEstimate> SecureSumDependences(const Dataset& dataset,
                                                   mpc::SimulationMode mode,
                                                   uint64_t seed);
@@ -72,6 +114,19 @@ StatusOr<DependenceEstimate> SecureSumDependences(const Dataset& dataset,
 // the paper's unlinkability argument the releases of one attribute
 // compose in parallel, so the reported epsilon is the maximum pair
 // epsilon rather than the sum (Section 4.3).
+//
+// Pair p masks on stream 1 + p of `seed` and draws shares on stream
+// 1 + p of the salted oracle seed. The adaptive split mirrors
+// SecureSumDependences; in the record-range regime kPhilox masking
+// shards too (element-addressed draws), while kMt19937 masking is
+// drawn sequentially per pair and only the counting shards. Output is
+// bit-identical at every thread count and shard grain under both RNG
+// policies.
+StatusOr<DependenceEstimate> PairwiseRrDependences(
+    const Dataset& dataset, double keep_probability, mpc::SimulationMode mode,
+    uint64_t seed, const DependenceEstimatorOptions& options);
+
+// Sequential back-compat form (options = one worker, mt19937 draws).
 StatusOr<DependenceEstimate> PairwiseRrDependences(const Dataset& dataset,
                                                    double keep_probability,
                                                    mpc::SimulationMode mode,

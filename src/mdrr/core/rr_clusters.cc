@@ -49,15 +49,24 @@ StatusOr<DependenceEstimate> AssessDependences(
 
 StatusOr<DependenceEstimate> AssessDependencesSharded(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
-    const DependenceShardingOptions& sharding) {
+    const DependenceEstimatorOptions& estimator) {
   switch (options.dependence_source) {
     case DependenceSource::kOracle:
-      return OracleDependencesSharded(dataset, sharding);
+      return OracleDependencesSharded(dataset, estimator.sharding);
     case DependenceSource::kRandomizedResponse:
       return RandomizedResponseDependencesSharded(
           dataset, options.dependence_keep_probability, rng.engine()(),
-          sharding);
+          estimator);
+    case DependenceSource::kSecureSum:
+      return SecureSumDependences(dataset,
+                                  mpc::SimulationMode::kFastSimulation,
+                                  rng.engine()(), estimator);
+    case DependenceSource::kPairwiseRr:
+      return PairwiseRrDependences(
+          dataset, options.dependence_keep_probability,
+          mpc::SimulationMode::kFastSimulation, rng.engine()(), estimator);
     default:
+      // kProvided computes nothing; the sequential path just copies.
       return AssessDependences(dataset, options, rng);
   }
 }
@@ -78,16 +87,16 @@ StatusOr<RrClustersResult> RunRrClusters(const Dataset& dataset,
 StatusOr<RrClustersResult> RunRrClustersWith(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
     const ClusterPerturbRunner& perturb_runner, size_t postprocess_threads,
-    const DependenceShardingOptions* assessment_sharding) {
+    const DependenceEstimatorOptions* assessment_estimator) {
   if (dataset.num_rows() == 0) {
     return Status::InvalidArgument("cannot run RR-Clusters on empty data");
   }
 
   MDRR_ASSIGN_OR_RETURN(
       DependenceEstimate dependences,
-      assessment_sharding != nullptr
+      assessment_estimator != nullptr
           ? AssessDependencesSharded(dataset, options, rng,
-                                     *assessment_sharding)
+                                     *assessment_estimator)
           : AssessDependences(dataset, options, rng));
   MDRR_ASSIGN_OR_RETURN(
       AttributeClustering clusters,

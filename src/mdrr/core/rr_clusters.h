@@ -64,14 +64,19 @@ StatusOr<DependenceEstimate> AssessDependences(const Dataset& dataset,
                                                const RrClustersOptions& options,
                                                Rng& rng);
 
-// Sharded dependence assessment: kOracle and kRandomizedResponse route
-// through the DependenceMatrixSharded pair grid (bit-identical for any
-// thread count); kSecureSum, kPairwiseRr and kProvided fall back to the
-// sequential assessment, whose per-pair protocol transcript draws from
-// one shared RNG in pair order and therefore cannot shard.
+// Sharded dependence assessment. Every estimator shards now: kOracle
+// and kRandomizedResponse through the DependenceMatrixSharded pair grid,
+// kSecureSum and kPairwiseRr through the stream-per-pair estimators of
+// dependence_estimators.h (pair p draws on stream 1 + p, so the pair
+// grid parallelizes with output bit-identical at any thread count and
+// shard grain under both RNG policies). Only kProvided falls back to
+// the sequential assessment -- it computes nothing. `estimator.rng`
+// selects the draw addressing (kPhilox additionally shards record
+// ranges); the estimator seed is still drawn from `rng`, exactly one
+// engine word per source, like the sequential path.
 StatusOr<DependenceEstimate> AssessDependencesSharded(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
-    const DependenceShardingOptions& sharding);
+    const DependenceEstimatorOptions& estimator);
 
 // Runs the full RR-Clusters protocol. Fails on empty data or if a
 // dependence estimator fails.
@@ -97,13 +102,14 @@ using ClusterPerturbRunner = std::function<StatusOr<RrJointPerturbation>(
 // through the fast backend across clusters, then the decode of composite
 // codes back to per-attribute columns -- shard over `postprocess_threads`
 // workers (0 = one per core) with bit-identical output at any thread
-// count. When `assessment_sharding` is non-null the dependence round
-// runs through AssessDependencesSharded instead of AssessDependences;
-// not owned.
+// count. When `assessment_estimator` is non-null the dependence round
+// runs through AssessDependencesSharded instead of AssessDependences
+// (its sharding + RNG-kind options route into the estimators); not
+// owned.
 StatusOr<RrClustersResult> RunRrClustersWith(
     const Dataset& dataset, const RrClustersOptions& options, Rng& rng,
     const ClusterPerturbRunner& perturb_runner, size_t postprocess_threads,
-    const DependenceShardingOptions* assessment_sharding = nullptr);
+    const DependenceEstimatorOptions* assessment_estimator = nullptr);
 
 // The RR-Clusters joint-query estimator (independent clusters, estimated
 // joint within each cluster).

@@ -21,8 +21,11 @@ RrMatrix::RrMatrix(size_t size, linalg::Matrix dense)
     : size_(size), dense_(std::move(dense)),
       transpose_lu_(std::make_shared<TransposeLuCell>()) {
   row_samplers_.reserve(size_);
+  dense_thresholds_.reserve(size_ * size_);
+  dense_aliases_.reserve(size_ * size_);
   for (size_t u = 0; u < size_; ++u) {
     row_samplers_.emplace_back(dense_->Row(u));
+    row_samplers_.back().AppendTables(dense_thresholds_, dense_aliases_);
   }
 }
 
@@ -202,15 +205,20 @@ void RrMatrix::RandomizeRangeCounterInto(const std::vector<uint32_t>& codes,
     return;
   }
 
+  // Dense tiles run the gather/select kernel over the flattened per-row
+  // tables: same bucket derivation and the same threshold values as the
+  // per-row SampleFrom loop, so the transcript is bit-unchanged.
   for (size_t tile = begin; tile < end; tile += kTile) {
     const size_t len = end - tile < kTile ? end - tile : kTile;
+#ifndef NDEBUG
+    for (size_t k = 0; k < len; ++k) MDRR_DCHECK_LT(codes[tile + k], size_);
+#endif
     PhiloxFillElementDraws(seed, stream, tile, len, units, raws);
-    for (size_t k = 0; k < len; ++k) {
-      MDRR_DCHECK_LT(codes[tile + k], size_);
-      const uint32_t y =
-          row_samplers_[codes[tile + k]].SampleFrom(units[k], raws[k]);
-      out[tile + k] = y;
-      if (counts != nullptr) ++counts[y];
+    AliasLookupBlock(dense_thresholds_.data(), dense_aliases_.data(), size_,
+                     dense_thresholds_.size(), codes.data() + tile, units,
+                     raws, len, out + tile);
+    if (counts != nullptr) {
+      for (size_t k = 0; k < len; ++k) ++counts[out[tile + k]];
     }
   }
 }

@@ -267,6 +267,14 @@ class RrMatrix {
   std::optional<linalg::Matrix> dense_;
   // Alias samplers per row (dense representation only).
   std::vector<AliasSampler> row_samplers_;
+  // The same per-row alias tables flattened into one r x r row-major SoA
+  // pair (row = input code, stride = size_), built once at construction
+  // so the counter-policy dense tiles can gather per-element rows through
+  // AliasLookupBlock instead of chasing row_samplers_[code] indirections.
+  // Values are byte-for-byte the per-row tables', so routing through the
+  // flat lookup is bitwise identical to per-row SampleFrom.
+  std::vector<double> dense_thresholds_;
+  std::vector<uint32_t> dense_aliases_;
   // Lazily cached LU factors of Pᵀ (dense representation only), built
   // under the cell's once-flag on the first SolveTranspose. The cell is
   // held through a shared_ptr so RrMatrix stays copyable and every copy

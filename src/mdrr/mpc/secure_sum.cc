@@ -3,6 +3,70 @@
 #include "mdrr/common/check.h"
 
 namespace mdrr::mpc {
+namespace {
+
+// One uniform share in [0, modulus) from either engine. The counter
+// draw is the fixed-budget reduction (exactly one u64 per share), which
+// is what makes the per-cell word addressing of WordsPerLiteralRun hold
+// regardless of data.
+inline uint64_t DrawShare(Rng& rng, uint64_t modulus) {
+  return rng.UniformInt(modulus);
+}
+inline uint64_t DrawShare(CounterRng& rng, uint64_t modulus) {
+  return rng.BoundedU64(modulus);
+}
+
+template <typename Engine>
+StatusOr<uint64_t> RunLiteral(uint64_t modulus,
+                              const std::vector<uint64_t>& contributions,
+                              Engine& rng) {
+  const size_t n = contributions.size();
+  // Literal protocol. inbox[j] accumulates the shares received by party j.
+  std::vector<uint64_t> inbox(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // Party i picks shares r_i1..r_i,n-1 uniformly and sets the last share
+    // so the row sums to 0 (mod M), then "sends" share j to party j.
+    uint64_t row_sum = 0;
+    for (size_t j = 0; j + 1 < n; ++j) {
+      uint64_t share = DrawShare(rng, modulus);
+      row_sum = (row_sum + share) % modulus;
+      inbox[j] = (inbox[j] + share) % modulus;
+    }
+    uint64_t last_share = (modulus - row_sum) % modulus;
+    inbox[n - 1] = (inbox[n - 1] + last_share) % modulus;
+  }
+
+  // Broadcast phase: party j announces its share-sum plus its contribution;
+  // the final result is the sum of broadcasts.
+  uint64_t result = 0;
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t broadcast = (inbox[j] + contributions[j]) % modulus;
+    result = (result + broadcast) % modulus;
+  }
+  return result;
+}
+
+template <typename Engine>
+StatusOr<uint64_t> RunImpl(uint64_t modulus, SimulationMode mode,
+                           const std::vector<uint64_t>& contributions,
+                           Engine& rng) {
+  if (contributions.empty()) {
+    return Status::InvalidArgument("secure sum needs at least one party");
+  }
+  for (uint64_t c : contributions) {
+    if (c >= modulus) {
+      return Status::InvalidArgument("contribution exceeds modulus");
+    }
+  }
+  if (mode == SimulationMode::kFastSimulation) {
+    uint64_t sum = 0;
+    for (uint64_t c : contributions) sum = (sum + c) % modulus;
+    return sum;
+  }
+  return RunLiteral(modulus, contributions, rng);
+}
+
+}  // namespace
 
 SecureSumSession::SecureSumSession(uint64_t modulus, SimulationMode mode)
     : modulus_(modulus), mode_(mode) {
@@ -11,54 +75,22 @@ SecureSumSession::SecureSumSession(uint64_t modulus, SimulationMode mode)
 
 StatusOr<uint64_t> SecureSumSession::Run(
     const std::vector<uint64_t>& contributions, Rng& rng) const {
-  if (contributions.empty()) {
-    return Status::InvalidArgument("secure sum needs at least one party");
-  }
-  for (uint64_t c : contributions) {
-    if (c >= modulus_) {
-      return Status::InvalidArgument("contribution exceeds modulus");
-    }
-  }
-  const size_t n = contributions.size();
+  return RunImpl(modulus_, mode_, contributions, rng);
+}
 
-  if (mode_ == SimulationMode::kFastSimulation) {
-    uint64_t sum = 0;
-    for (uint64_t c : contributions) sum = (sum + c) % modulus_;
-    return sum;
-  }
-
-  // Literal protocol. inbox[j] accumulates the shares received by party j.
-  std::vector<uint64_t> inbox(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    // Party i picks shares r_i1..r_i,n-1 uniformly and sets the last share
-    // so the row sums to 0 (mod M), then "sends" share j to party j.
-    uint64_t row_sum = 0;
-    for (size_t j = 0; j + 1 < n; ++j) {
-      uint64_t share = rng.UniformInt(modulus_);
-      row_sum = (row_sum + share) % modulus_;
-      inbox[j] = (inbox[j] + share) % modulus_;
-    }
-    uint64_t last_share = (modulus_ - row_sum) % modulus_;
-    inbox[n - 1] = (inbox[n - 1] + last_share) % modulus_;
-  }
-
-  // Broadcast phase: party j announces its share-sum plus its contribution;
-  // the final result is the sum of broadcasts.
-  uint64_t result = 0;
-  for (size_t j = 0; j < n; ++j) {
-    uint64_t broadcast = (inbox[j] + contributions[j]) % modulus_;
-    result = (result + broadcast) % modulus_;
-  }
-  return result;
+StatusOr<uint64_t> SecureSumSession::Run(
+    const std::vector<uint64_t>& contributions, CounterRng& rng) const {
+  return RunImpl(modulus_, mode_, contributions, rng);
 }
 
 SecureFrequencyOracle::SecureFrequencyOracle(SimulationMode mode,
-                                             uint64_t seed)
-    : mode_(mode), rng_(seed) {}
+                                             uint64_t seed, RngKind rng)
+    : mode_(mode), seed_(seed), rng_kind_(rng) {}
 
 StatusOr<std::vector<int64_t>> SecureFrequencyOracle::BivariateCounts(
     const std::vector<uint32_t>& codes_a, size_t cardinality_a,
-    const std::vector<uint32_t>& codes_b, size_t cardinality_b) {
+    const std::vector<uint32_t>& codes_b, size_t cardinality_b,
+    uint64_t pair_stream) const {
   if (codes_a.size() != codes_b.size()) {
     return Status::InvalidArgument("code vectors must have equal length");
   }
@@ -66,19 +98,53 @@ StatusOr<std::vector<int64_t>> SecureFrequencyOracle::BivariateCounts(
     return Status::InvalidArgument("no parties");
   }
   const size_t n = codes_a.size();
-  SecureSumSession session(static_cast<uint64_t>(n) + 1, mode_);
-
+  for (size_t i = 0; i < n; ++i) {
+    MDRR_CHECK_LT(codes_a[i], cardinality_a);
+    MDRR_CHECK_LT(codes_b[i], cardinality_b);
+  }
   std::vector<int64_t> counts(cardinality_a * cardinality_b, 0);
+
+  if (mode_ == SimulationMode::kFastSimulation) {
+    // One pass instead of |A_i| * |A_j| protocol sweeps: every secure sum
+    // is exact (counts <= n < modulus = n + 1, so the modulus never
+    // wraps), so the histogram IS the protocol output.
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[static_cast<size_t>(codes_a[i]) * cardinality_b + codes_b[i]];
+    }
+    return counts;
+  }
+
+  SecureSumSession session(static_cast<uint64_t>(n) + 1, mode_);
   std::vector<uint64_t> contributions(n);
-  for (size_t a = 0; a < cardinality_a; ++a) {
-    for (size_t b = 0; b < cardinality_b; ++b) {
-      for (size_t i = 0; i < n; ++i) {
-        MDRR_CHECK_LT(codes_a[i], cardinality_a);
-        MDRR_CHECK_LT(codes_b[i], cardinality_b);
-        contributions[i] =
-            (codes_a[i] == a && codes_b[i] == b) ? 1u : 0u;
+  auto fill_cell = [&](size_t a, size_t b) {
+    for (size_t i = 0; i < n; ++i) {
+      contributions[i] = (codes_a[i] == a && codes_b[i] == b) ? 1u : 0u;
+    }
+  };
+
+  if (rng_kind_ == RngKind::kMt19937) {
+    Rng rng = RngStreamFamily(seed_).Stream(pair_stream);
+    for (size_t a = 0; a < cardinality_a; ++a) {
+      for (size_t b = 0; b < cardinality_b; ++b) {
+        fill_cell(a, b);
+        MDRR_ASSIGN_OR_RETURN(uint64_t cell, session.Run(contributions, rng));
+        counts[a * cardinality_b + b] = static_cast<int64_t>(cell);
       }
-      MDRR_ASSIGN_OR_RETURN(uint64_t cell, session.Run(contributions, rng_));
+    }
+    return counts;
+  }
+
+  // Philox: cell k owns words [k * words_per_cell, (k + 1) * words_per_cell)
+  // of counter stream pair_stream -- addressed, never consumed in order,
+  // so a future per-cell fan-out needs no transcript change.
+  const uint64_t words_per_cell = SecureSumSession::WordsPerLiteralRun(n);
+  uint64_t cell_index = 0;
+  for (size_t a = 0; a < cardinality_a; ++a) {
+    for (size_t b = 0; b < cardinality_b; ++b, ++cell_index) {
+      fill_cell(a, b);
+      CounterRng rng(seed_, pair_stream);
+      rng.Jump(cell_index * words_per_cell);
+      MDRR_ASSIGN_OR_RETURN(uint64_t cell, session.Run(contributions, rng));
       counts[a * cardinality_b + b] = static_cast<int64_t>(cell);
     }
   }

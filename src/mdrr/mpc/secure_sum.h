@@ -13,6 +13,16 @@
 // simulated in-process. kFastSimulation skips the share exchange and
 // returns the identical result, for use when n or the number of protocol
 // runs makes the literal O(n^2) exchange pointless in an experiment.
+//
+// Randomness addressing: the oracle is stateless per call. Every
+// BivariateCounts call derives its share draws purely from
+// (seed, pair_stream) -- mt19937 via RngStreamFamily stream-per-pair,
+// philox via counter stream `pair_stream` with each protocol cell
+// jumped to its own fixed word range -- so concurrent per-pair calls
+// share no engine state and the transcript is a pure function of the
+// call inputs. (Before the pair-grid sharding landed, one oracle-owned
+// engine was consumed across pairs in pair order; that transcript is
+// retired -- the protocol output, being exact counts, is unchanged.)
 
 #ifndef MDRR_MPC_SECURE_SUM_H_
 #define MDRR_MPC_SECURE_SUM_H_
@@ -21,6 +31,7 @@
 #include <vector>
 
 #include "mdrr/common/status_or.h"
+#include "mdrr/rng/counter_rng.h"
 #include "mdrr/rng/rng.h"
 
 namespace mdrr::mpc {
@@ -38,14 +49,29 @@ class SecureSumSession {
 
   // Runs one aggregation round over the parties' private contributions
   // (contribution i belongs to party i). Returns the sum modulo `modulus`.
-  // Fails if any contribution >= modulus.
+  // Fails if any contribution >= modulus. The two overloads draw the
+  // same share layout from either engine: n - 1 uniform shares per party
+  // in party order (the counter overload consumes exactly one u64 per
+  // share -- fixed budget, see WordsPerLiteralRun).
   StatusOr<uint64_t> Run(const std::vector<uint64_t>& contributions,
                          Rng& rng) const;
+  StatusOr<uint64_t> Run(const std::vector<uint64_t>& contributions,
+                         CounterRng& rng) const;
 
   // Number of point-to-point messages the last literal run would use:
   // n shares per party plus n broadcasts.
   static uint64_t MessageCount(size_t num_parties) {
     return static_cast<uint64_t>(num_parties) * num_parties + num_parties;
+  }
+
+  // 32-bit counter-stream words one literal Run consumes: n parties draw
+  // n - 1 shares each, one u64 (two words) per share. Run k of a
+  // multi-run protocol on one stream therefore starts at word
+  // k * WordsPerLiteralRun(n) -- the element-addressed layout
+  // SecureFrequencyOracle::BivariateCounts uses per cell.
+  static uint64_t WordsPerLiteralRun(size_t num_parties) {
+    if (num_parties == 0) return 0;
+    return 2ull * num_parties * (num_parties - 1);
   }
 
   uint64_t modulus() const { return modulus_; }
@@ -61,14 +87,24 @@ class SecureSumSession {
 // modulus n + 1 (exactly the procedure of Section 4.2).
 class SecureFrequencyOracle {
  public:
-  SecureFrequencyOracle(SimulationMode mode, uint64_t seed);
+  // `rng` selects the share-draw engine for literal runs. kMt19937 seeds
+  // a fresh RngStreamFamily(seed).Stream(pair_stream) sequence per call
+  // (cells consume it in row-major cell order); kPhilox addresses cell k
+  // at word k * WordsPerLiteralRun(n) of counter stream `pair_stream`.
+  // Fast simulation draws nothing under either engine.
+  SecureFrequencyOracle(SimulationMode mode, uint64_t seed,
+                        RngKind rng = RngKind::kMt19937);
 
   // Joint counts of (codes_a[i], codes_b[i]) pairs, row-major
   // [cardinality_a x cardinality_b]. Preconditions: equal-length inputs,
-  // codes within cardinalities.
+  // codes within cardinalities. `pair_stream` keys this call's share
+  // randomness; callers aggregating many pairs give each pair its own
+  // stream so the pair grid can run in any order or in parallel. Const
+  // and stateless: safe to call concurrently on one oracle.
   StatusOr<std::vector<int64_t>> BivariateCounts(
       const std::vector<uint32_t>& codes_a, size_t cardinality_a,
-      const std::vector<uint32_t>& codes_b, size_t cardinality_b);
+      const std::vector<uint32_t>& codes_b, size_t cardinality_b,
+      uint64_t pair_stream = 0) const;
 
   // Communication cost in messages for computing one bivariate table
   // (cells * per-run messages); the O(|Ai||Aj| n) of Section 4.2.
@@ -78,7 +114,8 @@ class SecureFrequencyOracle {
 
  private:
   SimulationMode mode_;
-  Rng rng_;
+  uint64_t seed_;
+  RngKind rng_kind_;
 };
 
 }  // namespace mdrr::mpc

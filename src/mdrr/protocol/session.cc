@@ -378,7 +378,8 @@ StatusOr<SessionResult> RunDistributedSession(const Dataset& dataset,
           options.clustering,
           release::ExecutionPolicy{release::PolicyKind::kSharded,
                                    options.seed, options.num_threads,
-                                   std::max<size_t>(1, options.shard_size)}));
+                                   std::max<size_t>(1, options.shard_size),
+                                   options.rng}));
   if (options.rng == RngKind::kPhilox) {
     return RunCounterSession(dataset, options, controller);
   }

@@ -46,9 +46,18 @@ class AliasSampler {
 
   // Block draw: out[k] = SampleFrom(units[k], raws[k]) for k in
   // [0, count). Pure table lookups over pre-drawn uniform pairs -- no
-  // engine calls, no loop-carried state -- so the loop vectorizes.
+  // engine calls, no loop-carried state -- routed through the SIMD-lane
+  // AliasLookupBlock kernel below (bitwise identical to the scalar
+  // SampleFrom loop on every platform).
   void SampleBlock(const double* units, const uint64_t* raws, size_t count,
                    uint32_t* out) const;
+
+  // Appends this table's acceptance thresholds and alias indices to flat
+  // SoA arrays -- the gather-friendly row-major layout AliasLookupBlock
+  // consumes when many tables (e.g. one per RrMatrix row) are fused into
+  // one strided lookup.
+  void AppendTables(std::vector<double>& thresholds,
+                    std::vector<uint32_t>& aliases) const;
 
   size_t size() const { return probability_.size(); }
 
@@ -59,6 +68,25 @@ class AliasSampler {
   std::vector<double> probability_;  // Acceptance threshold per bucket.
   std::vector<uint32_t> alias_;      // Fallback index per bucket.
 };
+
+// Flat-table alias lookup over pre-drawn uniform pairs, shared by
+// AliasSampler::SampleBlock (one table) and RrMatrix's dense tiles (one
+// table per input code). `thresholds`/`aliases` are SoA and row-major
+// with stride `bound` (the per-row bucket count) over `table_entries`
+// total entries; `rows` selects the table per element (nullptr = row 0
+// for every element). For each k in [0, count):
+//   bucket = PhiloxBoundedFromRaw(raws[k], bound)
+//   idx    = (rows ? rows[k] : 0) * bound + bucket
+//   out[k] = units[k] < thresholds[idx] ? bucket : aliases[idx]
+// On x86-64 hosts with AVX2 the threshold/alias gathers and the
+// branch-free select run four lanes at a time (runtime-dispatched);
+// the scalar path is the same arithmetic, so output is bitwise
+// identical regardless of ISA -- the philox transcript contract never
+// depends on the host.
+void AliasLookupBlock(const double* thresholds, const uint32_t* aliases,
+                      uint64_t bound, size_t table_entries,
+                      const uint32_t* rows, const double* units,
+                      const uint64_t* raws, size_t count, uint32_t* out);
 
 }  // namespace mdrr
 

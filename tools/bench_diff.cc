@@ -27,6 +27,11 @@
 // release-distributed uses t1 = the in-process sharded engine at
 // --threads vs tN = the same workload farmed over loopback TCP to 2
 // worker endpoints (its "speedup" is the transport overhead ratio).
+// The dependence-pairwise stage times the mt19937 pairwise-RR estimator
+// at 1 vs N threads like a normal scaling row, but its bit_identical
+// also covers the untimed philox and secure-sum runs of the same stage
+// (thread/grain invariance plus policy divergence), so a flipped bit
+// there may come from a column the timings don't show.
 // The delta logic below is agnostic -- a slower current t1 or tN is a
 // regression of whatever that column measures either way -- and
 // bit_identical remains each stage's own determinism contract.
